@@ -1,0 +1,68 @@
+"""Ablation study: each PAP optimization disabled in isolation.
+
+The paper motivates every flow-reduction technique with a benchmark it
+rescues (Section 5.2): connected components for SPM, common parents
+for Levenshtein/Hamming, the ASG for hub-heavy rulesets, dynamic
+convergence/deactivation for RandomForest/Fermi/SPM, and the FIV for
+whatever survives.  This bench quantifies each contribution on
+representative benchmarks — correctness (report equality) is verified
+in every configuration, so the ablations also demonstrate that the
+optimizations are pure accelerations.
+"""
+
+from __future__ import annotations
+
+from conftest import publish, trace_budget
+
+from repro.sim.sweep import ablation_sweep
+
+ABLATION_BENCHMARKS = ("SPM", "Hamming", "ExactMatch", "Dotstar03")
+
+
+def test_optimization_ablations(benchmark, suite_cache):
+    def sweep_all():
+        results = {}
+        for name in ABLATION_BENCHMARKS:
+            actual, modeled = trace_budget(name, "1MB")
+            # Ablated configurations can multiply live flows by orders
+            # of magnitude (that is the point); a compact trace keeps
+            # the no-merging variants simulable.
+            results[name] = ablation_sweep(
+                suite_cache.instance(name),
+                ranks=1,
+                trace_bytes=min(actual, 8_192),
+                modeled_bytes=modeled,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    variants = list(next(iter(results.values())).keys())
+    lines = ["== Optimization ablations (speedup, 1 rank) =="]
+    lines.append(
+        f"{'Benchmark':<14}" + "".join(f"{v:>22}" for v in variants)
+    )
+    for name, sweep in results.items():
+        lines.append(
+            f"{name:<14}"
+            + "".join(f"{sweep[v].speedup:>22.2f}" for v in variants)
+        )
+    publish("ablations", "\n".join(lines))
+
+    for name, sweep in results.items():
+        for variant, run in sweep.items():
+            assert run.reports_match, f"{name}/{variant}"
+        full = sweep["full"].speedup
+        # Removing the connected-component merge may not even be
+        # runnable at full flow counts in hardware (SVC capacity); in
+        # the model it must never *help* materially.
+        for variant, run in sweep.items():
+            assert run.speedup <= full * 1.25 + 0.5, f"{name}/{variant}"
+
+    if "SPM" in results:
+        spm = results["SPM"]
+        # CC merging is what makes SPM profitable at all.
+        assert (
+            spm["full"].speedup
+            >= spm["no-connected_components"].speedup
+        )

@@ -1,0 +1,85 @@
+"""Section 2.1's DFA-blowup claim, quantified.
+
+"Converting these NFAs to equivalent DFAs also cannot help improve
+performance since it leads to exponential growth in the number of
+states."  This bench determinizes growing slices of a Dotstar-style
+ruleset and reports NFA vs. DFA state counts — the justification for
+NFA-native hardware (and for this whole line of work).
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.automata.charclass import CharClass
+from repro.automata.dfa import subset_construction
+from repro.automata.minimize import minimize
+from repro.automata.nfa import Nfa
+from repro.errors import CapacityError
+
+
+def dotstar_nfa(num_rules: int, gap: int) -> Nfa:
+    """.*a.{gap}b patterns: each rule forces the DFA to remember a
+    sliding window of `gap` bits."""
+    nfa = Nfa(name=f"dotstar-{num_rules}")
+    start = nfa.add_state(start=True)
+    nfa.add_transition(start, CharClass.full(), start)
+    for rule in range(num_rules):
+        trigger = chr(ord("a") + rule)
+        previous = start
+        chain = (
+            [CharClass.single(trigger)]
+            + [CharClass.full()] * gap
+            + [CharClass.single("z")]
+        )
+        for index, label in enumerate(chain):
+            state = nfa.add_state(accept=index == len(chain) - 1)
+            nfa.add_transition(previous, label, state)
+            previous = state
+    return nfa
+
+
+def test_dfa_state_blowup(benchmark):
+    def measure():
+        rows = []
+        for gap in (2, 4, 6, 8, 10):
+            nfa = dotstar_nfa(1, gap)
+            nfa_states = nfa.num_states
+            try:
+                dfa = subset_construction(nfa, max_states=200_000)
+                dfa_states = dfa.num_states
+                minimal_states = minimize(dfa).num_states
+            except CapacityError:
+                dfa_states = -1
+                minimal_states = -1
+            rows.append((gap, nfa_states, dfa_states, minimal_states))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = ["== DFA blowup for .*a.{n}z (Section 2.1) =="]
+    lines.append(
+        f"{'gap n':>6}{'NFA states':>12}{'DFA states':>12}"
+        f"{'minimal DFA':>13}{'ratio':>9}"
+    )
+    for gap, nfa_states, dfa_states, minimal_states in rows:
+        ratio = (
+            f"{minimal_states / nfa_states:8.1f}"
+            if minimal_states > 0
+            else "  >cap"
+        )
+        lines.append(
+            f"{gap:>6}{nfa_states:>12}"
+            f"{str(dfa_states if dfa_states > 0 else 'overflow'):>12}"
+            f"{str(minimal_states if minimal_states > 0 else 'overflow'):>13}"
+            f"{ratio:>9}"
+        )
+    publish("dfa_blowup", "\n".join(lines))
+
+    # The blowup is fundamental, not a construction artifact: even the
+    # *minimal* DFA is exponential in the gap (it must remember which of
+    # the last n symbols were 'a').
+    measurable = [(g, m) for g, _, _, m in rows if m > 0]
+    for (gap_a, min_a), (gap_b, min_b) in zip(measurable, measurable[1:]):
+        assert min_b >= min_a * 2 ** ((gap_b - gap_a) - 1), (gap_a, gap_b)
+    assert measurable[-1][1] > 2 ** measurable[-1][0]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the functional executor (the VASim substitute).
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the substrate everything else is built on: symbol throughput of the
+active-set executor on light and saturated automata, and flow context
+creation.  They track the simulator's own performance, not a paper
+figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.execution import CompiledAutomaton, FlowExecution
+from repro.regex.ruleset import compile_ruleset
+from repro.workloads.spm import spm_benchmark, transaction_trace
+
+
+def _ruleset_setup():
+    patterns = [f"rule{i:03d}x[0-9]{{2}}" for i in range(64)]
+    automaton, _ = compile_ruleset(patterns)
+    compiled = CompiledAutomaton(automaton)
+    rng = random.Random(3)
+    data = bytes(rng.randrange(256) for _ in range(16_384))
+    return compiled, data
+
+
+def test_executor_throughput_sparse(benchmark):
+    """Symbols/second on a ruleset where the active set stays small."""
+    compiled, data = _ruleset_setup()
+
+    def run():
+        flow = FlowExecution(compiled)
+        flow.run(data)
+        return flow.symbols_processed
+
+    symbols = benchmark(run)
+    assert symbols == len(data)
+
+
+def test_executor_throughput_saturated(benchmark):
+    """Symbols/second on gap-pattern automata whose stable active set
+    is large — the latched-state fast path's target."""
+    automaton, items = spm_benchmark(num_patterns=100, seed=0)
+    compiled = CompiledAutomaton(automaton)
+    data = transaction_trace(items, 8_192, seed=1)
+
+    def run():
+        flow = FlowExecution(compiled)
+        flow.run(data)
+        return flow.symbols_processed
+
+    symbols = benchmark(run)
+    assert symbols == len(data)
+
+
+def test_flow_creation_cost(benchmark):
+    """Spawning flows against shared compiled tables must be cheap —
+    enumeration creates hundreds per segment."""
+    compiled, _ = _ruleset_setup()
+    seeds = list(range(0, len(compiled), 7))
+
+    def spawn():
+        return [
+            FlowExecution(compiled, initial_current=[sid], one_shot=frozenset())
+            for sid in seeds
+        ]
+
+    flows = benchmark(spawn)
+    assert len(flows) == len(seeds)

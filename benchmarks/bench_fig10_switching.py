@@ -1,0 +1,24 @@
+"""Figure 10: flow-switching overhead.
+
+Context-switch cycles as a fraction of total segment execution, per
+benchmark (1 rank, 1MB-class).  The paper reports under 2% for most
+benchmarks, with the flow-heavy ones (ClamAV there) a little higher.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.sim.report import format_figure10
+
+
+def test_fig10_switch_overhead(benchmark, suite_cache):
+    runs = benchmark.pedantic(
+        suite_cache.runs, args=(1, "1MB"), rounds=1, iterations=1
+    )
+    publish("fig10", format_figure10(runs))
+    for run in runs:
+        # 3 cycles per 256-symbol slice bounds the overhead near 1.2%
+        # per concurrently-live flow; even flow-heavy benchmarks stay
+        # in the paper's few-percent regime.
+        assert run.pap.switching_overhead < 0.10, run.name

@@ -1,0 +1,41 @@
+"""Figure 11: false-path invalidation cost at segment boundaries.
+
+Average and maximum ``T_cpu`` (state-vector readout + host decode)
+actually charged per segment, per benchmark (1 rank, 1MB-class).  The
+charged values are reported in *modeled* full-input cycles — the
+harness scales the per-segment constants with trace size, so the
+numbers below are rescaled back for comparison with the paper's
+~2,000-cycle average.
+"""
+
+from __future__ import annotations
+
+from conftest import publish, trace_budget
+
+
+def test_fig11_false_path_decode(benchmark, suite_cache):
+    runs = benchmark.pedantic(
+        suite_cache.runs, args=(1, "1MB"), rounds=1, iterations=1
+    )
+    rows = []
+    for run in runs:
+        actual, modeled = trace_budget(run.name, "1MB")
+        factor = modeled / max(1, actual)
+        charged = [c * factor for c in run.pap.tcpu_cycles if c > 0]
+        rows.append((run.name, charged))
+
+    lines = ["== Figure 11 (modeled full-input cycles) =="]
+    lines.append(
+        f"{'Benchmark':<18}{'AvgTcpu':>10}{'MaxTcpu':>10}{'Charged':>9}"
+    )
+    for name, charged in rows:
+        avg = sum(charged) / len(charged) if charged else 0.0
+        top = max(charged) if charged else 0.0
+        lines.append(f"{name:<18}{avg:>10.0f}{top:>10.0f}{len(charged):>9}")
+    publish("fig11", "\n".join(lines))
+
+    for name, charged in rows:
+        for value in charged:
+            # T_cpu is dominated by the 1,668-cycle readout plus per-flow
+            # decode: the paper's ~2,000-cycle regime, never runaway.
+            assert 1_000 <= value <= 60_000, name

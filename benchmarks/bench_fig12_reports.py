@@ -1,0 +1,26 @@
+"""Figure 12: increase in output report events due to false paths.
+
+Raw buffered events (including events generated along false
+enumeration paths) versus events surviving host-side truth filtering,
+per benchmark (1 rank, 1MB-class).  The paper plots the increase on a
+log scale; amplification varies from none (benchmarks whose flows are
+mostly true or die instantly) to substantial for enumeration-heavy
+automata.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.sim.report import format_figure12
+
+
+def test_fig12_report_amplification(benchmark, suite_cache):
+    runs = benchmark.pedantic(
+        suite_cache.runs, args=(1, "1MB"), rounds=1, iterations=1
+    )
+    publish("fig12", format_figure12(runs))
+    for run in runs:
+        assert run.pap.raw_events >= run.pap.true_events, run.name
+        # False-path filtering must still recover the exact report set.
+        assert run.reports_match, run.name

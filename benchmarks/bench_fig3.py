@@ -1,0 +1,45 @@
+"""Figure 3: range of symbols across benchmarks.
+
+Reproduces the min/avg/max symbol-range statistics over all 256 input
+symbols for every benchmark, the evidence behind range-guided input
+partitioning: ranges are a small fraction of total states for most
+benchmarks and a huge fraction for Fermi/Hamming/Levenshtein-style
+automata.  The timed portion is the 256-symbol range profile.
+"""
+
+from __future__ import annotations
+
+from conftest import SELECTED, publish
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.core.ranges import range_profile
+from repro.sim.report import format_figure3
+
+
+def _profile(suite_cache, names):
+    rows = []
+    for name in names:
+        bench = suite_cache.instance(name)
+        analysis = AutomatonAnalysis(bench.automaton)
+        rows.append(
+            (name, bench.automaton.num_states, range_profile(analysis))
+        )
+    return rows
+
+
+def test_fig3_symbol_ranges(benchmark, suite_cache):
+    rows = benchmark.pedantic(
+        _profile, args=(suite_cache, SELECTED), rounds=1, iterations=1
+    )
+    publish("fig3", format_figure3(rows))
+
+    by_name = {name: (states, profile) for name, states, profile in rows}
+    # The paper's qualitative split: small relative ranges for the Regex
+    # suite, giant ones for the edit-distance and trajectory automata.
+    if "ExactMatch" in by_name:
+        states, profile = by_name["ExactMatch"]
+        assert profile.minimum <= states * 0.01
+    for dense in ("Hamming", "Levenshtein", "Fermi"):
+        if dense in by_name:
+            states, profile = by_name[dense]
+            assert profile.maximum > states * 0.2, dense

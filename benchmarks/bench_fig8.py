@@ -1,0 +1,81 @@
+"""Figure 8: PAP speedup over the sequential AP baseline.
+
+The headline experiment: every benchmark, two board sizes (1 rank = 16
+half-cores, 4 ranks = 64), two input classes standing in for the
+paper's 1 MB and 10 MB traces.  Each run verifies that PAP's composed
+report set equals the sequential baseline's before any speedup is
+reported.
+
+Expected shape (paper Section 5.1): near-ideal speedups for the
+small-range Regex benchmarks (Ranges05/1, ExactMatch, Bro217), strong
+speedups for SPM/RandomForest/Hamming after flow merging, poor
+speedups for Fermi and the dense-component benchmarks, larger gains on
+the 10 MB-class input, and geomeans ordered
+1-rank-1MB < 1-rank-10MB < 4-rank-10MB.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import SELECTED, publish
+
+from repro.sim.report import format_figure8
+from repro.sim.runner import geometric_mean
+
+PANELS = [
+    ("1MB", 1),
+    ("1MB", 4),
+    ("10MB", 1),
+    ("10MB", 4),
+]
+
+
+@pytest.mark.parametrize("size_class,ranks", PANELS)
+def test_fig8_speedup_panel(benchmark, suite_cache, size_class, ranks):
+    runs = benchmark.pedantic(
+        suite_cache.runs,
+        args=(ranks, size_class),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        f"fig8_{size_class}_{ranks}rank",
+        format_figure8(runs, label=f"{size_class}-class input, {ranks} rank(s)"),
+    )
+    for run in runs:
+        assert run.reports_match, run.name
+        # Golden execution guarantees PAP never loses (Section 5.1).
+        assert run.speedup >= 0.99, run.name
+        # Speedup is bounded by the segment count; the small slack
+        # covers host-side drain cycles the baseline pays on top of its
+        # symbol cycles.
+        assert run.speedup <= run.ideal_speedup * 1.02 + 0.5, run.name
+
+
+def test_fig8_shape_summary(benchmark, suite_cache):
+    def summarize():
+        one_small = suite_cache.runs(1, "1MB")
+        one_big = suite_cache.runs(1, "10MB")
+        four_big = suite_cache.runs(4, "10MB")
+        return (
+            geometric_mean([r.speedup for r in one_small]),
+            geometric_mean([r.speedup for r in one_big]),
+            geometric_mean([r.speedup for r in four_big]),
+        )
+
+    small_1r, big_1r, big_4r = benchmark.pedantic(
+        summarize, rounds=1, iterations=1
+    )
+    publish(
+        "fig8_summary",
+        "== Figure 8 geomeans ==\n"
+        f"1 rank,  1MB-class : {small_1r:.1f}x  (paper: 6.6x)\n"
+        f"1 rank, 10MB-class : {big_1r:.1f}x  (paper: 7.6x)\n"
+        f"4 ranks, 10MB-class: {big_4r:.1f}x  (paper: 25.5x)\n",
+    )
+    if len(SELECTED) == len(
+        __import__("repro.workloads.suite", fromlist=["BENCHMARK_NAMES"]).BENCHMARK_NAMES
+    ):
+        # The paper's headline ordering must hold.
+        assert big_4r > big_1r
+        assert big_1r >= small_1r * 0.9

@@ -1,0 +1,46 @@
+"""Figure 9: flow reduction across the optimization pipeline.
+
+For each benchmark: enumeration paths in the chosen symbol's range,
+flows after connected-component merging, after common-parent merging,
+and the average number of *active* flows during execution (after
+dynamic convergence/deactivation/FIV).  Shares the Figure 8
+1-rank/1MB-class measurements.
+
+Expected shape: huge range -> tiny planned-flow counts for SPM (the
+paper: 20,101 -> 5) and the other many-component benchmarks; dynamic
+checks pull average active flows near 1 for most of the suite.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.sim.report import format_figure9
+
+
+def test_fig9_flow_reduction(benchmark, suite_cache):
+    runs = benchmark.pedantic(
+        suite_cache.runs, args=(1, "1MB"), rounds=1, iterations=1
+    )
+    publish("fig9", format_figure9(runs))
+
+    by_name = {run.name: run for run in runs}
+    if "SPM" in by_name:
+        stats = [
+            plan.stats
+            for plan in by_name["SPM"].pap.plans
+            if not plan.is_golden
+        ]
+        if stats and max(s.flows_in_range for s in stats) > 0:
+            # CC merging must collapse SPM's paths by orders of magnitude.
+            assert max(s.flows_after_cc for s in stats) <= max(
+                s.flows_in_range for s in stats
+            )
+    for run in runs:
+        for plan in run.pap.plans:
+            if plan.is_golden:
+                continue
+            assert plan.stats.flows_after_parent <= plan.stats.flows_after_cc
+            assert plan.stats.flows_after_cc <= max(
+                1, plan.stats.flows_in_range
+            )

@@ -1,0 +1,121 @@
+"""Extension study: speculation vs. enumeration (paper Section 6/7).
+
+The paper names speculation as future work for reducing active flows.
+This bench compares the enumerated PAP against the speculative variant
+with the cold and profile predictors on benchmarks spanning the
+prediction-difficulty spectrum:
+
+* ExactMatch / RandomForest — boundaries are almost always "cold"
+  (nothing beyond the ASG alive): speculation should match or beat
+  enumeration;
+* Dotstar03 / Snort — saturating ``.*`` states make the cold guess
+  wrong and the boundary sets diverse: mispredictions serialize and
+  enumeration should win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import publish, trace_budget
+
+from repro.ap.geometry import BoardGeometry
+from repro.core.config import PAPConfig
+from repro.core.speculation import SpeculativeAutomataProcessor
+from repro.sim.runner import run_benchmark
+
+SPECULATION_BENCHMARKS = (
+    "ExactMatch",
+    "RandomForest",
+    "Dotstar03",
+    "Snort",
+)
+
+
+def _speculate(instance, predictor, trace_bytes, modeled):
+    config = PAPConfig(
+        geometry=BoardGeometry(ranks=1),
+        timing=PAPConfig().timing.scaled_for_input(trace_bytes, modeled),
+    )
+    data = instance.trace(trace_bytes, 1)
+    spec = SpeculativeAutomataProcessor(
+        instance.automaton,
+        config=config,
+        half_cores=instance.half_cores,
+        predictor=predictor,
+    )
+    result = spec.run(data)
+    return result
+
+
+def test_speculation_vs_enumeration(benchmark, suite_cache):
+    def sweep():
+        rows = []
+        for name in SPECULATION_BENCHMARKS:
+            actual, modeled = trace_budget(name, "1MB")
+            instance = suite_cache.instance(name)
+            pap_run = suite_cache.run(name, 1, "1MB")
+            data_len = pap_run.trace_bytes
+            base_cycles = pap_run.baseline.total_cycles
+            cold = _speculate(instance, "cold", actual, modeled)
+            profile = _speculate(instance, "profile", actual, modeled)
+            rows.append(
+                (
+                    name,
+                    pap_run.speedup,
+                    base_cycles / max(1, cold.total_cycles),
+                    cold.prediction_accuracy,
+                    base_cycles / max(1, profile.total_cycles),
+                    profile.prediction_accuracy,
+                    data_len,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["== Speculation vs. enumeration (1 rank, 1MB-class) =="]
+    lines.append(
+        f"{'Benchmark':<14}{'PAP':>8}{'SpecCold':>10}{'acc%':>7}"
+        f"{'SpecProf':>10}{'acc%':>7}"
+    )
+    for name, pap, cold, cold_acc, prof, prof_acc, _ in rows:
+        lines.append(
+            f"{name:<14}{pap:>8.2f}{cold:>10.2f}{cold_acc * 100:>7.1f}"
+            f"{prof:>10.2f}{prof_acc * 100:>7.1f}"
+        )
+    publish("speculation", "\n".join(lines))
+
+    by_name = {row[0]: row for row in rows}
+    if "ExactMatch" in by_name:
+        # Cold boundaries: speculation is essentially always right.
+        assert by_name["ExactMatch"][3] > 0.9
+    for row in rows:
+        # Speculation is exact and golden-bounded: never below ~1x.
+        assert row[2] >= 0.99 and row[4] >= 0.99, row[0]
+
+
+def test_speculation_reports_exact(benchmark, suite_cache):
+    def verify():
+        name = "Dotstar03"
+        actual, modeled = trace_budget(name, "1MB")
+        instance = suite_cache.instance(name)
+        data = instance.trace(min(actual, 16_384), 1)
+        from repro.ap.sequential import run_sequential
+
+        baseline = run_sequential(instance.automaton, data)
+        config = replace(
+            PAPConfig(geometry=BoardGeometry(ranks=1)),
+            timing=PAPConfig().timing.scaled_for_input(len(data), modeled),
+        )
+        for predictor in ("cold", "profile"):
+            result = SpeculativeAutomataProcessor(
+                instance.automaton,
+                config=config,
+                half_cores=instance.half_cores,
+                predictor=predictor,
+            ).run(data)
+            assert result.reports == baseline.reports, predictor
+        return True
+
+    assert benchmark.pedantic(verify, rounds=1, iterations=1)

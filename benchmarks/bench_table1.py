@@ -1,0 +1,47 @@
+"""Table 1: benchmark characteristics.
+
+Regenerates the paper's Table 1 for the synthetic suite: states, chosen
+partition-symbol range, connected components, half-core footprint, and
+segments available on 1-rank and 4-rank boards — side by side with the
+paper's reported values.  The timed portion is the structural analysis
+pipeline (connected components + range profiling + symbol choice), the
+preprocessing cost of Section 3.5.
+"""
+
+from __future__ import annotations
+
+from conftest import SELECTED, publish
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.core.ranges import choose_partition_symbol
+from repro.sim.report import format_table1
+
+
+def _characterize(suite_cache, names):
+    rows = []
+    for name in names:
+        bench = suite_cache.instance(name)
+        analysis = AutomatonAnalysis(bench.automaton)
+        components = len(analysis.connected_components())
+        data = bench.trace(16_384, 7)
+        choice = choose_partition_symbol(
+            analysis,
+            data,
+            num_segments=bench.paper.segments_one_rank,
+            exclude=analysis.path_independent_states(),
+        )
+        raw_range = len(analysis.symbol_range(choice.symbol))
+        rows.append((bench, bench.automaton.num_states, components, raw_range))
+    return rows
+
+
+def test_table1_characteristics(benchmark, suite_cache):
+    rows = benchmark.pedantic(
+        _characterize, args=(suite_cache, SELECTED), rounds=1, iterations=1
+    )
+    publish("table1", format_table1(rows))
+    for bench, states, components, _ in rows:
+        assert states > 0
+        # The generators target the paper's component counts; at scale
+        # they stay proportional for the many-component benchmarks.
+        assert components >= 1

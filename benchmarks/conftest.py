@@ -1,0 +1,103 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SCALE``
+    Workload scale relative to the paper's state counts (default 0.1).
+``REPRO_BENCH_1MB``
+    Trace bytes standing in for the paper's 1 MB input (default 65536).
+``REPRO_BENCH_10MB``
+    Trace bytes standing in for the paper's 10 MB input (default 262144).
+``REPRO_BENCH_ONLY``
+    Comma-separated benchmark names to restrict the suite.
+
+Per-segment constant costs are rescaled with the trace (see
+``TimingModel.scaled_for_input``), so speedup ratios model the paper's
+full-size experiments.  Expensive automata (Fermi) run on a quarter of
+the trace budget; their absolute speedups are flat anyway.
+
+Benchmark instances and PAP runs are cached per session so the figure
+benches share the Figure 8 measurements instead of recomputing them.
+Formatted tables are printed and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim.runner import BenchmarkRun, run_benchmark
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+PAPER_1MB = 1_048_576
+PAPER_10MB = 10_485_760
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+TRACE_1MB_CLASS = int(os.environ.get("REPRO_BENCH_1MB", str(64 * 1024)))
+TRACE_10MB_CLASS = int(os.environ.get("REPRO_BENCH_10MB", str(256 * 1024)))
+
+_only = os.environ.get("REPRO_BENCH_ONLY", "")
+SELECTED: tuple[str, ...] = (
+    tuple(name for name in BENCHMARK_NAMES if name in set(_only.split(",")))
+    if _only
+    else BENCHMARK_NAMES
+)
+
+# Workloads whose dense active sets make functional simulation slow get
+# a reduced trace budget; their speedup curves are flat in trace size.
+HEAVY = {"Fermi": 4}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def trace_budget(name: str, size_class: str) -> tuple[int, int]:
+    """(actual trace bytes, modeled paper bytes) for one run."""
+    base = TRACE_1MB_CLASS if size_class == "1MB" else TRACE_10MB_CLASS
+    modeled = PAPER_1MB if size_class == "1MB" else PAPER_10MB
+    return base // HEAVY.get(name, 1), modeled // HEAVY.get(name, 1)
+
+
+class SuiteCache:
+    """Session-wide lazy store of benchmark instances and PAP runs."""
+
+    def __init__(self) -> None:
+        self._instances: dict[str, object] = {}
+        self._runs: dict[tuple[str, int, str], BenchmarkRun] = {}
+
+    def instance(self, name: str):
+        if name not in self._instances:
+            self._instances[name] = build_benchmark(name, scale=SCALE, seed=0)
+        return self._instances[name]
+
+    def run(self, name: str, ranks: int, size_class: str) -> BenchmarkRun:
+        key = (name, ranks, size_class)
+        if key not in self._runs:
+            actual, modeled = trace_budget(name, size_class)
+            self._runs[key] = run_benchmark(
+                self.instance(name),
+                ranks=ranks,
+                trace_bytes=actual,
+                modeled_bytes=modeled,
+                trace_seed=1,
+            )
+        return self._runs[key]
+
+    def runs(
+        self, ranks: int, size_class: str, names=SELECTED
+    ) -> list[BenchmarkRun]:
+        return [self.run(name, ranks, size_class) for name in names]
+
+
+@pytest.fixture(scope="session")
+def suite_cache() -> SuiteCache:
+    return SuiteCache()
+
+
+def publish(title: str, text: str) -> None:
+    """Print a formatted table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{title}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Sequential pattern mining over transaction streams (the SPM case).
+
+Data mining is the paper's third domain: Apriori-style candidate
+patterns matched against transaction streams, where NFA processing
+takes 33-95% of execution time.  This example mines ordered item
+patterns with within-transaction gap automata, shows how
+connected-component merging collapses thousands of enumeration paths
+into a handful of flows, and reports the PAP speedup.
+
+Run:  python examples/itemset_mining.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import PAPConfig, ParallelAutomataProcessor, run_sequential
+from repro.ap.geometry import BoardGeometry
+from repro.workloads.spm import spm_benchmark, transaction_trace
+
+NUM_CANDIDATES = 300
+STREAM_BYTES = 100_000
+
+
+def main() -> None:
+    automaton, candidates = spm_benchmark(
+        num_patterns=NUM_CANDIDATES, seed=2
+    )
+    print(
+        f"{NUM_CANDIDATES} candidate patterns -> "
+        f"{automaton.num_states} states "
+        f"(~{automaton.num_states // NUM_CANDIDATES} per candidate machine)"
+    )
+
+    stream = transaction_trace(
+        candidates, STREAM_BYTES, seed=9, hit_fraction=0.1
+    )
+    baseline = run_sequential(automaton, stream)
+
+    # Support counting: how often each candidate matched.
+    support = Counter(report.code for report in baseline.reports)
+    top = support.most_common(3)
+    print(
+        f"stream: {STREAM_BYTES // 1000} kB, "
+        f"{len(baseline.reports)} pattern occurrences; top candidates: "
+        + ", ".join(f"#{code} x{count}" for code, count in top)
+    )
+
+    pap = ParallelAutomataProcessor(
+        automaton, config=PAPConfig(geometry=BoardGeometry(ranks=1))
+    )
+    plan = pap.plan(stream)
+    assert plan.partition_choice is not None
+    print(
+        f"partition symbol {chr(plan.partition_choice.symbol)!r} "
+        f"(the transaction delimiter), enumeration range "
+        f"{plan.partition_choice.range_size}, "
+        f"max planned flows {plan.max_planned_flows}"
+    )
+
+    result = pap.run(stream)
+    assert result.reports == baseline.reports
+    print(
+        f"speedup {baseline.total_cycles / result.total_cycles:.1f}x on "
+        f"{result.num_segments} segments "
+        f"(ideal {result.num_segments}x; avg active flows "
+        f"{result.average_active_flows:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

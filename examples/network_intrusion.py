@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Network intrusion detection: a Snort-style ruleset on the PAP.
+
+The paper's motivating deployment: hundreds of signature rules
+compiled into one NFA, scanning packet payloads at line rate.  This
+example builds a Snort-like ruleset (literals, character classes,
+unbounded gaps), generates Becchi-style traffic with match probability
+0.75, and compares sequential AP execution against PAP on 1-rank and
+4-rank boards — including what the enumeration machinery did
+(flows planned, deactivated, converged, invalidated).
+
+Run:  python examples/network_intrusion.py
+"""
+
+from __future__ import annotations
+
+from repro import PAPConfig, ParallelAutomataProcessor, run_sequential
+from repro.ap.geometry import BoardGeometry
+from repro.workloads.regexgen import RegexSuiteParams, generate_ruleset
+from repro.workloads.tracegen import pm_trace
+
+TRAFFIC_BYTES = 120_000
+
+
+def main() -> None:
+    params = RegexSuiteParams(
+        num_groups=12,
+        patterns_per_group=20,
+        class_fraction=0.25,
+        dotstar_fraction=0.05,
+        min_length=6,
+        max_length=18,
+    )
+    automaton, patterns = generate_ruleset(params, seed=11, name="snortlike")
+    print(
+        f"ruleset: {len(patterns)} signatures -> "
+        f"{automaton.num_states} STEs in {params.num_groups} rule groups"
+    )
+
+    traffic = pm_trace(automaton, TRAFFIC_BYTES, pm=0.75, seed=3)
+    baseline = run_sequential(automaton, traffic)
+    print(
+        f"sequential: {len(baseline.reports)} alerts over "
+        f"{TRAFFIC_BYTES // 1000} kB of traffic "
+        f"({baseline.seconds() * 1e3:.2f} ms modeled)"
+    )
+
+    for ranks in (1, 4):
+        config = PAPConfig(geometry=BoardGeometry(ranks=ranks))
+        if ranks == 4:
+            # 64 segments cut this capture into ~2 kB pieces, so the
+            # fixed per-segment costs (state-vector readout, host
+            # decode) would dwarf them.  Model a production-sized 8 MB
+            # capture instead: shrink those constants by the same
+            # factor, exactly as the benchmark harness does.
+            config = PAPConfig(
+                geometry=config.geometry,
+                timing=config.timing.scaled_for_input(
+                    len(traffic), 8 * 1024 * 1024
+                ),
+            )
+        pap = ParallelAutomataProcessor(automaton, config=config)
+        result = pap.run(traffic)
+        assert result.reports == baseline.reports
+        speedup = baseline.total_cycles / result.total_cycles
+        suffix = " (modeled as an 8 MB capture)" if ranks == 4 else ""
+        print(
+            f"{ranks} rank(s): {result.num_segments} parallel segments, "
+            f"speedup {speedup:.1f}x{suffix}"
+            + (" [golden fallback]" if result.golden_fallback else "")
+        )
+        print(
+            f"   flows: avg active {result.average_active_flows:.2f}, "
+            f"{result.deactivations} deactivated, "
+            f"{result.convergence_merges} converged, "
+            f"{result.fiv_invalidations} FIV-killed; "
+            f"false-path report amplification "
+            f"{result.event_amplification:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

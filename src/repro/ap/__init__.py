@@ -1,0 +1,64 @@
+"""Automata Processor hardware model: geometry, devices, flows, timing,
+placement, and the sequential baseline."""
+
+from repro.ap.counters import (
+    BooleanElement,
+    CounterBank,
+    CounterElement,
+    CounterEvent,
+    CounterMode,
+)
+from repro.ap.device import Board, Device, HalfCore
+from repro.ap.events import OutputEvent, OutputEventBuffer
+from repro.ap.flows import ApFlow
+from repro.ap.tenancy import MultiStreamScheduler, StreamJob, TenancyResult
+from repro.ap.geometry import (
+    FOUR_RANKS,
+    ONE_RANK,
+    STATE_VECTOR_BITS,
+    STATE_VECTOR_CACHE_ENTRIES,
+    STES_PER_HALF_CORE,
+    BoardGeometry,
+)
+from repro.ap.placement import Placement, place_automaton, segments_available
+from repro.ap.routing import RoutingMatrix
+from repro.ap.sequential import BaselineResult, run_sequential
+from repro.ap.state_vector import StateVector, StateVectorCache
+from repro.ap.ste import SteArray, SteColumn
+from repro.ap.timing import DEFAULT_TIMING, SYMBOL_CYCLE_NS, TimingModel
+
+__all__ = [
+    "ApFlow",
+    "BaselineResult",
+    "Board",
+    "BoardGeometry",
+    "BooleanElement",
+    "CounterBank",
+    "CounterElement",
+    "CounterEvent",
+    "CounterMode",
+    "DEFAULT_TIMING",
+    "Device",
+    "MultiStreamScheduler",
+    "StreamJob",
+    "TenancyResult",
+    "FOUR_RANKS",
+    "HalfCore",
+    "ONE_RANK",
+    "OutputEvent",
+    "OutputEventBuffer",
+    "Placement",
+    "RoutingMatrix",
+    "STATE_VECTOR_BITS",
+    "STATE_VECTOR_CACHE_ENTRIES",
+    "STES_PER_HALF_CORE",
+    "SYMBOL_CYCLE_NS",
+    "StateVector",
+    "StateVectorCache",
+    "SteArray",
+    "SteColumn",
+    "TimingModel",
+    "place_automaton",
+    "run_sequential",
+    "segments_available",
+]

@@ -1,0 +1,196 @@
+"""Counter and boolean elements.
+
+Beyond STEs, each D480 device provides 768 saturating counters and
+2,304 programmable boolean elements "to augment pattern matching
+functionality" (Section 2.1).  Counters accumulate activations of their
+input elements and fire when a programmed target is reached; booleans
+combine same-cycle activations.  The canonical use is support counting:
+SPM-style mining does not stream every pattern occurrence to the host —
+a counter per candidate fires once at the support threshold.
+
+The model consumes the element-activation event stream (the executor's
+reports) rather than instrumenting the executor: counter inputs are
+wired to report-capable elements, exactly as AP designs route STE
+outputs into counter inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.automata.execution import Report
+from repro.ap.geometry import BOOLEAN_ELEMENTS_PER_DEVICE, COUNTERS_PER_DEVICE
+from repro.errors import CapacityError, ConfigurationError
+
+
+class CounterMode(enum.Enum):
+    """What happens when the counter reaches its target.
+
+    ``LATCH``
+        Fire once, then hold (further inputs ignored).
+    ``PULSE``
+        Fire on every input once at/beyond the target.
+    ``ROLL``
+        Fire and reset to zero (fires every ``target`` activations).
+    """
+
+    LATCH = "latch"
+    PULSE = "pulse"
+    ROLL = "roll"
+
+
+@dataclass(frozen=True, order=True)
+class CounterEvent:
+    """A counter firing: ``counter_id`` hit its target at ``offset``."""
+
+    offset: int
+    counter_id: int
+    count: int
+
+
+@dataclass
+class CounterElement:
+    """One saturating up-counter."""
+
+    counter_id: int
+    inputs: frozenset[int]
+    """Element ids whose activations increment the counter."""
+    target: int
+    mode: CounterMode = CounterMode.LATCH
+    count: int = 0
+    latched: bool = False
+
+    def __post_init__(self) -> None:
+        if self.target < 1:
+            raise ConfigurationError("counter target must be at least 1")
+        if not self.inputs:
+            raise ConfigurationError("counter needs at least one input")
+
+    def feed(self, offset: int, activations: int) -> CounterEvent | None:
+        """Apply ``activations`` same-cycle input firings."""
+        if activations <= 0 or (self.latched and self.mode is CounterMode.LATCH):
+            return None
+        self.count += activations
+        if self.count < self.target:
+            return None
+        if self.mode is CounterMode.LATCH:
+            self.latched = True
+            return CounterEvent(offset=offset, counter_id=self.counter_id, count=self.count)
+        if self.mode is CounterMode.ROLL:
+            fired = CounterEvent(offset=offset, counter_id=self.counter_id, count=self.count)
+            self.count = 0
+            return fired
+        return CounterEvent(offset=offset, counter_id=self.counter_id, count=self.count)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.latched = False
+
+
+@dataclass
+class BooleanElement:
+    """A programmable gate over same-cycle element activations."""
+
+    boolean_id: int
+    function: str  # "and" | "or" | "nand" | "nor"
+    inputs: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.function not in {"and", "or", "nand", "nor"}:
+            raise ConfigurationError(f"unknown boolean function {self.function!r}")
+        if not self.inputs:
+            raise ConfigurationError("boolean element needs inputs")
+
+    def evaluate(self, fired: frozenset[int]) -> bool:
+        hits = len(self.inputs & fired)
+        if self.function == "and":
+            return hits == len(self.inputs)
+        if self.function == "or":
+            return hits > 0
+        if self.function == "nand":
+            return hits < len(self.inputs)
+        return hits == 0  # nor
+
+
+@dataclass
+class CounterBank:
+    """A device's worth of counters and booleans, fed by reports.
+
+    :meth:`process` consumes a report stream (offset-sorted or not),
+    groups activations per input offset — counters and booleans see
+    *cycles*, not individual wires — and returns the counter events and
+    boolean firings.
+    """
+
+    counters: list[CounterElement] = field(default_factory=list)
+    booleans: list[BooleanElement] = field(default_factory=list)
+    counter_capacity: int = COUNTERS_PER_DEVICE
+    boolean_capacity: int = BOOLEAN_ELEMENTS_PER_DEVICE
+
+    def add_counter(
+        self,
+        inputs: Iterable[int],
+        target: int,
+        *,
+        mode: CounterMode = CounterMode.LATCH,
+    ) -> int:
+        if len(self.counters) >= self.counter_capacity:
+            raise CapacityError(
+                f"device provides only {self.counter_capacity} counters"
+            )
+        counter_id = len(self.counters)
+        self.counters.append(
+            CounterElement(
+                counter_id=counter_id,
+                inputs=frozenset(inputs),
+                target=target,
+                mode=mode,
+            )
+        )
+        return counter_id
+
+    def add_boolean(self, function: str, inputs: Iterable[int]) -> int:
+        if len(self.booleans) >= self.boolean_capacity:
+            raise CapacityError(
+                f"device provides only {self.boolean_capacity} boolean elements"
+            )
+        boolean_id = len(self.booleans)
+        self.booleans.append(
+            BooleanElement(
+                boolean_id=boolean_id,
+                function=function,
+                inputs=frozenset(inputs),
+            )
+        )
+        return boolean_id
+
+    def process(
+        self, reports: Iterable[Report]
+    ) -> tuple[list[CounterEvent], list[tuple[int, int]]]:
+        """Run the element network over a report stream.
+
+        Returns (counter events, boolean firings) where a boolean
+        firing is ``(offset, boolean_id)``.
+        """
+        by_offset: dict[int, set[int]] = {}
+        for report in reports:
+            by_offset.setdefault(report.offset, set()).add(report.element)
+
+        counter_events: list[CounterEvent] = []
+        boolean_firings: list[tuple[int, int]] = []
+        for offset in sorted(by_offset):
+            fired = frozenset(by_offset[offset])
+            for counter in self.counters:
+                event = counter.feed(offset, len(counter.inputs & fired))
+                if event is not None:
+                    counter_events.append(event)
+            for gate in self.booleans:
+                if gate.evaluate(fired):
+                    boolean_firings.append((offset, gate.boolean_id))
+        return counter_events, boolean_firings
+
+    def reset(self) -> None:
+        for counter in self.counters:
+            counter.reset()

@@ -1,0 +1,150 @@
+"""Device composition: half-cores, D480 devices, ranks, boards.
+
+The hierarchy mirrors Section 2.1: a board holds 4 ranks of 8 D480
+devices; each device has 2 half-cores of 24,576 STEs, a state-vector
+cache (512 entries), and an output event buffer.  Loading an automaton
+programs STE columns and the routing matrix of each occupied half-core
+according to a :class:`~repro.ap.placement.Placement`.
+
+The functional truth of execution lives in
+:mod:`repro.automata.execution`; this module provides the structural
+model (capacities, per-half-core state, programming) that the
+sequential baseline and the PAP scheduler hang their accounting on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.ap.events import OutputEventBuffer
+from repro.ap.geometry import BoardGeometry, STES_PER_HALF_CORE
+from repro.ap.placement import Placement, place_automaton
+from repro.ap.routing import RoutingMatrix
+from repro.ap.state_vector import StateVectorCache
+from repro.ap.ste import SteArray
+from repro.errors import PlacementError
+
+
+@dataclass
+class HalfCore:
+    """One half-core: an STE array plus its routing matrix."""
+
+    index: int
+    capacity: int = STES_PER_HALF_CORE
+    stes: SteArray = field(init=False)
+    routing: RoutingMatrix = field(init=False)
+    loaded_states: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.stes = SteArray(self.capacity)
+        self.routing = RoutingMatrix(self.capacity)
+
+    def load(
+        self, automaton: Automaton, states: list[int]
+    ) -> None:
+        """Program ``states`` (global automaton ids) onto this half-core.
+
+        Local STE slots are assigned densely; the routing matrix gets
+        every automaton edge with both endpoints here.  Edges leaving
+        the set would be unroutable and raise.
+        """
+        if len(states) > self.capacity:
+            raise PlacementError(
+                f"half-core {self.index}: {len(states)} states exceed "
+                f"capacity {self.capacity}"
+            )
+        self.loaded_states = {sid: slot for slot, sid in enumerate(states)}
+        for sid, slot in self.loaded_states.items():
+            self.stes.program_column(slot, automaton.state(sid).label)
+        local_edges = set()
+        here = self.loaded_states
+        for sid in states:
+            for dst in automaton.successors(sid):
+                if dst not in here:
+                    raise PlacementError(
+                        f"edge {sid}->{dst} crosses half-core {self.index}; "
+                        "the routing matrix has no inter-half-core paths"
+                    )
+                local_edges.add((here[sid], here[dst]))
+        self.routing.program(local_edges)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.loaded_states)
+
+
+@dataclass
+class Device:
+    """One D480: two half-cores, a state-vector cache, an event buffer."""
+
+    index: int
+    geometry: BoardGeometry
+    half_cores: list[HalfCore] = field(init=False)
+    state_vector_cache: StateVectorCache = field(init=False)
+    event_buffer: OutputEventBuffer = field(default_factory=OutputEventBuffer)
+
+    def __post_init__(self) -> None:
+        self.half_cores = [
+            HalfCore(index=i, capacity=self.geometry.stes_per_half_core)
+            for i in range(self.geometry.half_cores_per_device)
+        ]
+        self.state_vector_cache = StateVectorCache(
+            capacity=self.geometry.state_vector_cache_entries
+        )
+
+
+@dataclass
+class Board:
+    """A full AP board."""
+
+    geometry: BoardGeometry = field(default_factory=BoardGeometry)
+    devices: list[Device] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.devices = [
+            Device(index=i, geometry=self.geometry)
+            for i in range(self.geometry.devices)
+        ]
+
+    def half_core(self, index: int) -> HalfCore:
+        """Board-global half-core addressing."""
+        per_device = self.geometry.half_cores_per_device
+        return self.devices[index // per_device].half_cores[index % per_device]
+
+    @property
+    def num_half_cores(self) -> int:
+        return self.geometry.half_cores
+
+    def load_automaton(
+        self,
+        automaton: Automaton,
+        *,
+        placement: Placement | None = None,
+        first_half_core: int = 0,
+        analysis: AutomatonAnalysis | None = None,
+    ) -> Placement:
+        """Load one FSM replica starting at ``first_half_core``.
+
+        Returns the placement used.  Loading ``k`` replicas at disjoint
+        offsets is how the PAP runs ``k`` input segments in parallel.
+        """
+        analysis = analysis or AutomatonAnalysis(automaton)
+        placement = placement or place_automaton(automaton, analysis=analysis)
+        if first_half_core + placement.half_cores > self.num_half_cores:
+            raise PlacementError(
+                f"automaton {automaton.name!r} needs "
+                f"{placement.half_cores} half-cores at offset "
+                f"{first_half_core}, board has {self.num_half_cores}"
+            )
+        components = analysis.connected_components()
+        per_half_core: dict[int, list[int]] = {}
+        for cid, members in enumerate(components):
+            target = placement.assignment[cid]
+            per_half_core.setdefault(target, []).extend(sorted(members))
+        for local_index, states in per_half_core.items():
+            self.half_core(first_half_core + local_index).load(
+                automaton, sorted(states)
+            )
+        return placement

@@ -1,0 +1,79 @@
+"""AP flows: time-multiplexed execution contexts.
+
+Flows let independent input streams share one programmed FSM
+(Section 3.2): each flow's dynamic state lives in a state-vector-cache
+slot; switching flows costs 3 cycles because neither the memory arrays
+nor the routing matrix are touched.  The PAP maps every enumeration
+path (after merging) to one flow.
+
+:class:`ApFlow` couples a :class:`~repro.automata.execution.FlowExecution`
+to a cache slot and an output buffer, charging the timing model's
+context-switch cost on save/restore — the mechanism the scheduler
+drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.execution import FlowExecution
+from repro.ap.events import OutputEventBuffer
+from repro.ap.state_vector import StateVector, StateVectorCache
+from repro.errors import ExecutionError
+
+
+@dataclass
+class ApFlow:
+    """One flow: an execution context bound to a cache slot."""
+
+    flow_id: int
+    execution: FlowExecution
+    cache: StateVectorCache
+    buffer: OutputEventBuffer
+    resident: bool = False
+    deactivated: bool = False
+    _drained_reports: int = field(default=0, repr=False)
+
+    def save(self) -> None:
+        """Context-switch out: write the state vector to the cache."""
+        if self.deactivated:
+            raise ExecutionError(f"flow {self.flow_id} is deactivated")
+        self.cache.save(
+            self.flow_id, StateVector(active=self.execution.state_vector())
+        )
+        self.resident = False
+
+    def restore(self) -> None:
+        """Context-switch in: fetch the vector and load the mask register."""
+        if self.deactivated:
+            raise ExecutionError(f"flow {self.flow_id} is deactivated")
+        vector = self.cache.restore(self.flow_id)
+        if vector.active != self.execution.state_vector():
+            # The execution object *is* the truth; a mismatch means the
+            # model desynchronized.
+            raise ExecutionError(
+                f"flow {self.flow_id}: cached vector diverged from execution"
+            )
+        self.resident = True
+
+    def process(self, data: bytes, base_offset: int) -> None:
+        """Run ``data`` through this flow, pushing reports to the buffer."""
+        if self.deactivated:
+            raise ExecutionError(f"flow {self.flow_id} is deactivated")
+        before = len(self.execution.reports)
+        self.execution.run(data, base_offset)
+        new_reports = self.execution.reports[before:]
+        self.buffer.push_all(new_reports, self.flow_id)
+
+    def deactivate(self) -> None:
+        """Invalidate this flow's cache slot and stop scheduling it."""
+        self.cache.invalidate(self.flow_id)
+        self.deactivated = True
+        self.resident = False
+
+    def is_unproductive(self) -> bool:
+        """The deactivation predicate: the flow can never match again."""
+        return self.execution.is_dead()
+
+    def state_vector(self) -> StateVector:
+        return StateVector(active=self.execution.state_vector())

@@ -1,0 +1,99 @@
+"""Placing automata onto half-cores.
+
+Because the routing matrix offers no transitions across half-cores,
+every connected component must live entirely inside one half-core.
+Placement therefore bin-packs components (first-fit decreasing); the
+number of half-cores an FSM occupies determines how many replicas fit
+on a board, and hence the number of input segments that can execute in
+parallel (Table 1's last two columns):
+
+    segments = floor(board half-cores / FSM half-cores)
+
+Densely connected automata route poorly on real hardware and occupy
+more half-cores than raw capacity suggests (the paper notes newer AP
+compilers spread Levenshtein and EntityResolution over multiple dies).
+``min_half_cores`` lets workload definitions pin the footprint the
+paper reports; the packing still validates that components fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.ap.geometry import STES_PER_HALF_CORE, BoardGeometry
+from repro.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Result of placing one FSM.
+
+    ``assignment[cid]`` is the half-core index of connected component
+    ``cid``; ``loads[h]`` the number of STEs placed on half-core ``h``.
+    """
+
+    half_cores: int
+    assignment: dict[int, int]
+    loads: tuple[int, ...]
+
+    @property
+    def total_states(self) -> int:
+        return sum(self.loads)
+
+    def utilization(self, capacity: int = STES_PER_HALF_CORE) -> float:
+        if not self.loads:
+            return 0.0
+        return self.total_states / (len(self.loads) * capacity)
+
+
+def place_automaton(
+    automaton: Automaton,
+    *,
+    capacity: int = STES_PER_HALF_CORE,
+    min_half_cores: int = 1,
+    analysis: AutomatonAnalysis | None = None,
+) -> Placement:
+    """First-fit-decreasing packing of connected components.
+
+    Raises :class:`PlacementError` when a single component exceeds the
+    half-core capacity (the hardware cannot split it).
+    """
+    if min_half_cores < 1:
+        raise PlacementError("min_half_cores must be at least 1")
+    analysis = analysis or AutomatonAnalysis(automaton)
+    components = analysis.connected_components()
+
+    sized = sorted(
+        ((len(members), cid) for cid, members in enumerate(components)),
+        reverse=True,
+    )
+    loads: list[int] = [0] * min_half_cores
+    assignment: dict[int, int] = {}
+    for size, cid in sized:
+        if size > capacity:
+            raise PlacementError(
+                f"connected component {cid} of {automaton.name!r} has "
+                f"{size} states, exceeding the {capacity}-STE half-core"
+            )
+        for index, load in enumerate(loads):
+            if load + size <= capacity:
+                loads[index] += size
+                assignment[cid] = index
+                break
+        else:
+            loads.append(size)
+            assignment[cid] = len(loads) - 1
+    return Placement(
+        half_cores=len(loads), assignment=assignment, loads=tuple(loads)
+    )
+
+
+def segments_available(
+    geometry: BoardGeometry, fsm_half_cores: int
+) -> int:
+    """Parallel input segments a board supports for one FSM footprint."""
+    if fsm_half_cores < 1:
+        raise PlacementError("an FSM occupies at least one half-core")
+    return geometry.half_cores // fsm_half_cores

@@ -1,0 +1,67 @@
+"""Routing matrix model.
+
+The AP's proprietary routing matrix implements state transitions as a
+reconfigurable interconnect between STEs (Section 2.1).  Three
+properties matter to this reproduction and are modeled here:
+
+* transitions exist only *within* a half-core — the matrix offers no
+  path between half-cores, which is why the half-core is the unit of
+  input-segment parallelism;
+* any number of programmed transitions can fire simultaneously in one
+  cycle (what makes merged-flow execution free);
+* reconfiguration requires a costly recompilation, so the PAP design
+  never reprograms the matrix at runtime — flows reuse one programmed
+  FSM.  The model counts recompilations so tests can assert none happen
+  during parallel execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlacementError
+
+
+class RoutingMatrix:
+    """The interconnect of one half-core."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._edges: set[tuple[int, int]] = set()
+        self._compiled = False
+        self.recompilations = 0
+
+    def program(self, edges: set[tuple[int, int]] | frozenset[tuple[int, int]]) -> None:
+        """Compile a transition set into the matrix.
+
+        Programming after the initial compile models the expensive
+        recompilation path and is counted.
+        """
+        for src, dst in edges:
+            if not (0 <= src < self.capacity and 0 <= dst < self.capacity):
+                raise PlacementError(
+                    f"transition {src}->{dst} exceeds half-core STE range "
+                    f"[0, {self.capacity})"
+                )
+        if self._compiled:
+            self.recompilations += 1
+        self._edges = set(edges)
+        self._compiled = True
+
+    @property
+    def compiled(self) -> bool:
+        return self._compiled
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def route(self, matched: set[int]) -> set[int]:
+        """The state-transition phase: destinations of every matched
+        state, all in one cycle."""
+        return {dst for src, dst in self._edges if src in matched}
+
+    def utilization(self) -> float:
+        """Programmed edges relative to STE count (a routing-pressure
+        proxy; the real matrix limit is place-and-route dependent)."""
+        if self.capacity == 0:
+            return 0.0
+        return len(self._edges) / self.capacity

@@ -1,0 +1,80 @@
+"""Bit-level STE column model.
+
+Each STE is a 256-bit DRAM column one-hot encoding the symbols its state
+matches (Section 2.1): to match symbol ``a`` the bit at row 97 is set.
+Broadcasting the input symbol as the row address makes state match a
+single row read.  :class:`SteColumn` models exactly that storage and the
+row-read matching discipline; the functional executor reaches the same
+answers through :class:`~repro.automata.charclass.CharClass` masks, and
+the test suite asserts the two views agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.automata.charclass import ALPHABET_SIZE, CharClass
+from repro.errors import AutomatonError
+
+
+class SteColumn:
+    """One programmed STE column: 256 rows of one bit each."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows = bytearray(ALPHABET_SIZE)
+
+    def program(self, label: CharClass) -> None:
+        """Write the one-hot encoding of ``label`` into the column."""
+        self.rows = bytearray(ALPHABET_SIZE)
+        for symbol in label:
+            self.rows[symbol] = 1
+
+    def row_read(self, symbol: int) -> bool:
+        """The state-match phase: read the row addressed by ``symbol``."""
+        if not 0 <= symbol < ALPHABET_SIZE:
+            raise AutomatonError(f"row address out of range: {symbol}")
+        return bool(self.rows[symbol])
+
+    def to_charclass(self) -> CharClass:
+        """Recover the programmed label."""
+        return CharClass(
+            symbol for symbol in range(ALPHABET_SIZE) if self.rows[symbol]
+        )
+
+    def popcount(self) -> int:
+        """Number of programmed rows (label cardinality)."""
+        return sum(self.rows)
+
+
+class SteArray:
+    """A bank of STE columns with broadcast row reads.
+
+    ``match_word(symbol)`` models the AP's parallel state-match phase:
+    the symbol is broadcast to every column and the result is the set of
+    matching columns (one DRAM row read across all arrays).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise AutomatonError("STE array capacity must be positive")
+        self.capacity = capacity
+        self.columns: list[SteColumn | None] = [None] * capacity
+
+    def program_column(self, index: int, label: CharClass) -> None:
+        if not 0 <= index < self.capacity:
+            raise AutomatonError(f"STE index out of range: {index}")
+        column = SteColumn()
+        column.program(label)
+        self.columns[index] = column
+
+    def match_word(self, symbol: int) -> set[int]:
+        """Indices of every programmed column whose row ``symbol`` is set."""
+        return {
+            index
+            for index, column in enumerate(self.columns)
+            if column is not None and column.row_read(symbol)
+        }
+
+    @property
+    def programmed(self) -> int:
+        return sum(1 for column in self.columns if column is not None)

@@ -1,0 +1,45 @@
+"""Automata substrate: character classes, classic NFAs, homogeneous
+(ANML-style) automata, analyses, and the functional executor."""
+
+from repro.automata.anml import Automaton, StartKind, Ste
+from repro.automata.anml_xml import (
+    automaton_from_anml_xml,
+    automaton_to_anml_xml,
+)
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.charclass import ALPHABET_SIZE, CharClass
+from repro.automata.conversion import nfa_to_anml
+from repro.automata.dfa import Dfa, subset_construction
+from repro.automata.minimize import minimize
+from repro.automata.execution import (
+    CompiledAutomaton,
+    ExecutionResult,
+    FlowExecution,
+    Report,
+    run_automaton,
+)
+from repro.automata.nfa import Nfa
+from repro.automata.prefix_merge import compression_ratio, merge_common_prefixes
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "Automaton",
+    "AutomatonAnalysis",
+    "CharClass",
+    "CompiledAutomaton",
+    "Dfa",
+    "ExecutionResult",
+    "FlowExecution",
+    "Nfa",
+    "Report",
+    "StartKind",
+    "Ste",
+    "automaton_from_anml_xml",
+    "automaton_to_anml_xml",
+    "compression_ratio",
+    "merge_common_prefixes",
+    "minimize",
+    "nfa_to_anml",
+    "run_automaton",
+    "subset_construction",
+]

@@ -1,0 +1,201 @@
+"""ANML (XML) import/export.
+
+Micron's toolchain exchanges automata as ANML — an XML dialect where
+``<state-transition-element>`` nodes carry a ``symbol-set``, optional
+``<report-on-match>`` / ``<activate-on-match>`` children, and a
+``start`` attribute.  This module reads and writes the subset of ANML
+those benchmarks use, so automata built here can be inspected with AP
+tooling and published ANML machines can be imported.
+
+Symbol sets use the bracket-expression syntax: ``[abc]``, ranges
+``[a-z]``, hex escapes ``\\x41``, the ``*`` wildcard, and negation
+``[^...]``.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.errors import AutomatonError
+
+_START_ATTR = {
+    StartKind.NONE: None,
+    StartKind.START_OF_DATA: "start-of-data",
+    StartKind.ALL_INPUT: "all-input",
+}
+_START_KIND = {value: key for key, value in _START_ATTR.items() if value}
+
+
+def symbol_set_to_anml(label: CharClass) -> str:
+    """Render a character class as an ANML symbol-set expression."""
+    if label.is_full():
+        return "*"
+    if not label:
+        raise AutomatonError("ANML symbol sets cannot be empty")
+    complement = label.complement()
+    if 0 < len(complement) < len(label):
+        return "[^" + _body(complement) + "]"
+    if len(label) == 1 and _plain(label.sample()):
+        return chr(label.sample())
+    return "[" + _body(label) + "]"
+
+
+def _body(label: CharClass) -> str:
+    parts = []
+    for low, high in label.intervals():
+        if low == high:
+            parts.append(_char(low))
+        elif high == low + 1:
+            parts.append(_char(low) + _char(high))
+        else:
+            parts.append(f"{_char(low)}-{_char(high)}")
+    return "".join(parts)
+
+
+def _plain(symbol: int) -> bool:
+    return 33 <= symbol <= 126 and chr(symbol) not in "[]^-\\*"
+
+
+def _char(symbol: int) -> str:
+    if _plain(symbol):
+        return chr(symbol)
+    return f"\\x{symbol:02x}"
+
+
+def parse_symbol_set(text: str) -> CharClass:
+    """Parse an ANML symbol-set expression back into a class."""
+    if text == "*":
+        return CharClass.full()
+    if not text.startswith("["):
+        symbols = _scan(text)
+        if len(symbols) != 1:
+            raise AutomatonError(f"bad bare symbol set: {text!r}")
+        return CharClass(symbols)
+    if not text.endswith("]"):
+        raise AutomatonError(f"unterminated symbol set: {text!r}")
+    body = text[1:-1]
+    negated = body.startswith("^")
+    if negated:
+        body = body[1:]
+    klass = CharClass(_scan(body, ranges=True))
+    return klass.complement() if negated else klass
+
+
+def _scan(body: str, *, ranges: bool = False) -> list[int]:
+    symbols: list[int] = []
+    index = 0
+
+    def take_one() -> int:
+        nonlocal index
+        char = body[index]
+        if char == "\\":
+            if index + 1 >= len(body):
+                raise AutomatonError(f"dangling escape in {body!r}")
+            escape = body[index + 1]
+            if escape == "x":
+                value = int(body[index + 2 : index + 4], 16)
+                index += 4
+                return value
+            index += 2
+            return ord(escape)
+        index += 1
+        return ord(char)
+
+    while index < len(body):
+        low = take_one()
+        if (
+            ranges
+            and index < len(body)
+            and body[index] == "-"
+            and index + 1 < len(body)
+        ):
+            index += 1
+            high = take_one()
+            if high < low:
+                raise AutomatonError(f"inverted range in {body!r}")
+            symbols.extend(range(low, high + 1))
+        else:
+            symbols.append(low)
+    return symbols
+
+
+def automaton_to_anml_xml(automaton: Automaton) -> str:
+    """Serialize to an ANML XML document string."""
+    network = ET.Element(
+        "automata-network", attrib={"id": automaton.name or "network"}
+    )
+    for ste in automaton.states():
+        attrib = {
+            "id": f"ste{ste.sid}",
+            "symbol-set": symbol_set_to_anml(ste.label),
+        }
+        start = _START_ATTR[ste.start]
+        if start:
+            attrib["start"] = start
+        element = ET.SubElement(
+            network, "state-transition-element", attrib=attrib
+        )
+        if ste.reporting:
+            ET.SubElement(
+                element,
+                "report-on-match",
+                attrib={"reportcode": str(ste.code)},
+            )
+        for dst in automaton.successors(ste.sid):
+            ET.SubElement(
+                element, "activate-on-match", attrib={"element": f"ste{dst}"}
+            )
+    buffer = io.BytesIO()
+    ET.ElementTree(network).write(
+        buffer, encoding="utf-8", xml_declaration=True
+    )
+    return buffer.getvalue().decode("utf-8")
+
+
+def automaton_from_anml_xml(text: str) -> Automaton:
+    """Parse an ANML XML document into an automaton."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise AutomatonError(f"malformed ANML XML: {error}") from error
+    if root.tag != "automata-network":
+        raise AutomatonError(
+            f"expected <automata-network>, got <{root.tag}>"
+        )
+    automaton = Automaton(name=root.get("id", "network"))
+    elements = list(root.iter("state-transition-element"))
+    sid_of: dict[str, int] = {}
+    for element in elements:
+        anml_id = element.get("id")
+        symbol_set = element.get("symbol-set")
+        if anml_id is None or symbol_set is None:
+            raise AutomatonError("STE missing id or symbol-set")
+        start = _START_KIND.get(element.get("start", ""), StartKind.NONE)
+        report = element.find("report-on-match")
+        report_code = None
+        if report is not None and report.get("reportcode") is not None:
+            report_code = int(report.get("reportcode"))  # type: ignore[arg-type]
+        sid = automaton.add_state(
+            parse_symbol_set(symbol_set),
+            start=start,
+            reporting=report is not None,
+            report_code=report_code,
+            name=anml_id,
+        )
+        if anml_id in sid_of:
+            raise AutomatonError(f"duplicate STE id {anml_id!r}")
+        sid_of[anml_id] = sid
+    for element in elements:
+        src = sid_of[element.get("id")]  # type: ignore[index]
+        for activation in element.findall("activate-on-match"):
+            target = activation.get("element")
+            if target not in sid_of:
+                raise AutomatonError(
+                    f"activation targets unknown STE {target!r}"
+                )
+            automaton.add_edge(src, sid_of[target])
+    automaton.validate()
+    return automaton

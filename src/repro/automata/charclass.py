@@ -1,0 +1,195 @@
+"""256-symbol character classes.
+
+The Automata Processor matches 8-bit symbols: every state-transition
+element (STE) stores a 256-bit column that one-hot encodes the set of
+symbols the state matches.  :class:`CharClass` models exactly that column
+as an immutable 256-bit integer bitmask, which makes the set algebra used
+throughout the library (range profiling, label intersection during
+stepping, prefix merging) cheap and hashable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import AutomatonError
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+
+class CharClass:
+    """An immutable set of 8-bit symbols, stored as a 256-bit bitmask.
+
+    Instances support the standard set operators (``|``, ``&``, ``-``,
+    ``^``), containment tests with ``in`` (accepting either an ``int``
+    symbol or a 1-character ``str``), iteration over member symbols, and
+    equality/hashing by value.
+    """
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, symbols: Iterable[int | str] = ()) -> None:
+        mask = 0
+        for symbol in symbols:
+            mask |= 1 << _as_symbol(symbol)
+        self._mask = mask
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "CharClass":
+        """Build a class directly from a 256-bit bitmask."""
+        if mask < 0 or mask > _FULL_MASK:
+            raise AutomatonError(f"mask out of range for 256-symbol class: {mask:#x}")
+        obj = cls.__new__(cls)
+        obj._mask = mask
+        return obj
+
+    @classmethod
+    def single(cls, symbol: int | str) -> "CharClass":
+        """The class containing exactly one symbol."""
+        return cls.from_mask(1 << _as_symbol(symbol))
+
+    @classmethod
+    def full(cls) -> "CharClass":
+        """The class matching every symbol (the ``*`` label)."""
+        return cls.from_mask(_FULL_MASK)
+
+    @classmethod
+    def empty(cls) -> "CharClass":
+        """The class matching no symbol."""
+        return cls.from_mask(0)
+
+    @classmethod
+    def range(cls, low: int | str, high: int | str) -> "CharClass":
+        """The inclusive symbol range ``[low-high]``."""
+        lo, hi = _as_symbol(low), _as_symbol(high)
+        if lo > hi:
+            raise AutomatonError(f"inverted symbol range: {lo}-{hi}")
+        return cls.from_mask(((1 << (hi - lo + 1)) - 1) << lo)
+
+    @classmethod
+    def from_string(cls, text: str) -> "CharClass":
+        """The class of all characters appearing in ``text``."""
+        return cls(text)
+
+    @property
+    def mask(self) -> int:
+        """The raw 256-bit bitmask."""
+        return self._mask
+
+    def __contains__(self, symbol: object) -> bool:
+        if isinstance(symbol, (int, str)):
+            return bool((self._mask >> _as_symbol(symbol)) & 1)
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self._mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def __len__(self) -> int:
+        return self._mask.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def __or__(self, other: "CharClass") -> "CharClass":
+        return CharClass.from_mask(self._mask | other._mask)
+
+    def __and__(self, other: "CharClass") -> "CharClass":
+        return CharClass.from_mask(self._mask & other._mask)
+
+    def __sub__(self, other: "CharClass") -> "CharClass":
+        return CharClass.from_mask(self._mask & ~other._mask)
+
+    def __xor__(self, other: "CharClass") -> "CharClass":
+        return CharClass.from_mask(self._mask ^ other._mask)
+
+    def complement(self) -> "CharClass":
+        """All symbols not in this class."""
+        return CharClass.from_mask(_FULL_MASK & ~self._mask)
+
+    def is_full(self) -> bool:
+        """True when the class matches every one of the 256 symbols."""
+        return self._mask == _FULL_MASK
+
+    def isdisjoint(self, other: "CharClass") -> bool:
+        return not (self._mask & other._mask)
+
+    def issubset(self, other: "CharClass") -> bool:
+        return self._mask & ~other._mask == 0
+
+    def symbols(self) -> tuple[int, ...]:
+        """The member symbols in ascending order."""
+        return tuple(self)
+
+    def sample(self) -> int:
+        """An arbitrary (lowest) member symbol; errors when empty."""
+        if not self._mask:
+            raise AutomatonError("cannot sample from an empty character class")
+        return (self._mask & -self._mask).bit_length() - 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharClass) and self._mask == other._mask
+
+    def __hash__(self) -> int:
+        return hash(self._mask)
+
+    def __repr__(self) -> str:
+        return f"CharClass({self.spec()!r})"
+
+    def spec(self) -> str:
+        """A compact human-readable spec, e.g. ``'[a-c x]'`` or ``'*'``.
+
+        The spec is for display and debugging; :mod:`repro.regex` has the
+        real pattern syntax.
+        """
+        if self.is_full():
+            return "*"
+        if not self._mask:
+            return "[]"
+        parts = []
+        for lo, hi in self.intervals():
+            lo_txt, hi_txt = _symbol_text(lo), _symbol_text(hi)
+            if lo == hi:
+                parts.append(lo_txt)
+            elif hi == lo + 1:
+                parts.extend((lo_txt, hi_txt))
+            else:
+                parts.append(f"{lo_txt}-{hi_txt}")
+        return "[" + " ".join(parts) + "]"
+
+    def intervals(self) -> list[tuple[int, int]]:
+        """Maximal runs of consecutive member symbols as (low, high) pairs."""
+        runs: list[tuple[int, int]] = []
+        start: int | None = None
+        previous = -2
+        for symbol in self:
+            if symbol != previous + 1:
+                if start is not None:
+                    runs.append((start, previous))
+                start = symbol
+            previous = symbol
+        if start is not None:
+            runs.append((start, previous))
+        return runs
+
+
+def _as_symbol(value: int | str) -> int:
+    """Normalize an int or 1-char string to a validated 0..255 symbol."""
+    if isinstance(value, str):
+        if len(value) != 1:
+            raise AutomatonError(f"expected a single character, got {value!r}")
+        value = ord(value)
+    if not 0 <= value < ALPHABET_SIZE:
+        raise AutomatonError(f"symbol out of 8-bit range: {value}")
+    return value
+
+
+def _symbol_text(symbol: int) -> str:
+    """Printable rendering of one symbol for specs."""
+    if 33 <= symbol <= 126 and chr(symbol) not in "[]-\\":
+        return chr(symbol)
+    return f"\\x{symbol:02x}"

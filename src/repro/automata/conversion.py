@@ -1,0 +1,88 @@
+"""Classic NFA -> homogeneous (ANML) automaton conversion.
+
+The AP requires the homogeneous form where "each state has valid incoming
+transitions for only one input symbol [class]" (paper Section 2.1).  The
+standard construction splits every classic state by the label of its
+incoming transitions:
+
+* for each classic transition ``p --cc--> q`` an STE ``(q, cc)`` exists
+  (one per distinct incoming class of ``q``);
+* STE ``(p, cc1)`` has an edge to STE ``(q, cc2)`` for every classic
+  transition ``p --cc2--> q`` — the STE's label already encodes the
+  symbol test, so edges are unlabeled;
+* STE ``(q, cc)`` is a start-of-data state when some classic start state
+  has a ``cc`` transition to ``q``;
+* STE ``(q, cc)`` reports when ``q`` is accepting.
+
+The conversion preserves the report stream exactly: STE ``(q, cc)``
+matches at offset ``t`` iff the classic NFA can be in ``q`` at ``t``
+having just taken a ``cc`` transition, so the union over copies of ``q``
+matches classic reachability.  Epsilon moves are eliminated first.
+"""
+
+from __future__ import annotations
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.automata.nfa import Nfa
+from repro.errors import AutomatonError
+
+
+def nfa_to_anml(nfa: Nfa, name: str | None = None) -> Automaton:
+    """Convert a classic NFA to an equivalent homogeneous automaton.
+
+    Reports carry the *classic* state id as their report code, so report
+    streams from both representations can be compared directly (after
+    deduplication — several STE copies of one accepting state may match
+    simultaneously).
+    """
+    flat = nfa.without_epsilon() if nfa.has_epsilon() else nfa
+    if flat.start_states & flat.accept_states:
+        raise AutomatonError(
+            "homogeneous form cannot report the empty match of an "
+            "accepting start state; reject or rewrite the input NFA"
+        )
+
+    automaton = Automaton(name=name or flat.name)
+
+    # Collect the distinct incoming classes of every classic state.
+    incoming: dict[int, list[CharClass]] = {}
+    for src in range(flat.num_states):
+        for label, dst in flat.transitions_from(src):
+            classes = incoming.setdefault(dst, [])
+            if label not in classes:
+                classes.append(label)
+
+    ste_ids: dict[tuple[int, CharClass], int] = {}
+    for classic, classes in sorted(incoming.items(), key=lambda kv: kv[0]):
+        for label in classes:
+            reached_from_start = any(
+                start_label == label and dst == classic
+                for start in flat.start_states
+                for start_label, dst in flat.transitions_from(start)
+            )
+            sid = automaton.add_state(
+                label,
+                start=(
+                    StartKind.START_OF_DATA
+                    if reached_from_start
+                    else StartKind.NONE
+                ),
+                reporting=classic in flat.accept_states,
+                report_code=classic,
+                name=f"q{classic}/{label.spec()}",
+            )
+            ste_ids[(classic, label)] = sid
+
+    for src in range(flat.num_states):
+        for label, dst in flat.transitions_from(src):
+            dst_ste = ste_ids[(dst, label)]
+            for src_label in incoming.get(src, []):
+                automaton.add_edge(ste_ids[(src, src_label)], dst_ste)
+
+    if automaton.num_states and not automaton.start_states():
+        # No classic start state has an outgoing transition: the language
+        # (under prefix-report semantics) is empty.
+        return Automaton(name=automaton.name)
+    automaton.validate()
+    return automaton

@@ -1,0 +1,351 @@
+"""Functional execution of homogeneous automata.
+
+This is the library's VASim substitute: an active-set executor that only
+touches states reachable from the currently matched set, which is what
+makes simulating large automata over long inputs tractable.
+
+Semantics (shared by every component of the library):
+
+* The dynamic state of an execution is the set of states that *matched*
+  the previous symbol (the *current set*, ``C``).
+* One step on symbol ``b``::
+
+      enabled  = succ(C) | persistent | one_shot     # one_shot first step only
+      C'       = {s in enabled : b in label(s)} - excluded
+
+* A report event ``(element, code, offset)`` fires whenever a reporting
+  state enters ``C'``.
+
+``persistent`` models ANML all-input start states (enabled on every
+symbol).  ``one_shot`` models start-of-data states (enabled for the first
+symbol only).  ``excluded`` lets the PAP enumeration flows drop
+always-active states whose behaviour the dedicated ASG flow reproduces;
+see :mod:`repro.core.merging`.
+
+Executions are incremental: :meth:`FlowExecution.step` and
+:meth:`FlowExecution.run` may be interleaved freely, which is how the TDM
+scheduler time-slices many flows over one automaton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.automata.anml import Automaton, StartKind
+
+
+@dataclass(frozen=True, order=True)
+class Report:
+    """One output event: reporting ``element`` matched at input ``offset``."""
+
+    offset: int
+    element: int
+    code: int
+
+
+class CompiledAutomaton:
+    """Immutable per-automaton tables shared by all executions.
+
+    Compiling once and instantiating many :class:`FlowExecution` objects
+    against the same tables is what makes flow enumeration affordable:
+    flows differ only in their (small) dynamic current sets.
+
+    ``latchable`` lists the states that, once matched, stay matched
+    forever: full-alphabet labels with a self loop (``.*`` gap and hub
+    states).  The executor exploits this — saturated automata (SPM,
+    Dotstar) otherwise pay for their whole stable active set on every
+    symbol.
+    """
+
+    __slots__ = (
+        "automaton",
+        "succ",
+        "label_masks",
+        "reporting",
+        "report_codes",
+        "start_of_data",
+        "all_input",
+        "latchable",
+    )
+
+    def __init__(self, automaton: Automaton) -> None:
+        automaton.validate()
+        self.automaton = automaton
+        self.succ: list[tuple[int, ...]] = [
+            automaton.successors(sid) for sid in range(len(automaton))
+        ]
+        self.label_masks: list[int] = [
+            ste.label.mask for ste in automaton.states()
+        ]
+        self.reporting: frozenset[int] = frozenset(automaton.reporting_states())
+        self.report_codes: dict[int, int] = {
+            sid: automaton.state(sid).code for sid in self.reporting
+        }
+        self.start_of_data: frozenset[int] = frozenset(
+            automaton.start_of_data_states()
+        )
+        self.all_input: frozenset[int] = frozenset(automaton.all_input_states())
+        self.latchable: frozenset[int] = frozenset(
+            ste.sid
+            for ste in automaton.states()
+            if ste.label.is_full() and automaton.has_self_loop(ste.sid)
+        )
+
+    def __len__(self) -> int:
+        return len(self.succ)
+
+
+class FlowExecution:
+    """One incremental execution (one AP flow) over a compiled automaton.
+
+    Parameters
+    ----------
+    compiled:
+        Shared static tables.
+    initial_current:
+        States treated as having matched the (virtual) symbol just before
+        this execution's first symbol.  Enumeration flows seed this with
+        candidate boundary states.
+    persistent:
+        States enabled on *every* step.  ``None`` means the automaton's
+        all-input start states (normal semantics).
+    one_shot:
+        States enabled for the first step only.  ``None`` means the
+        automaton's start-of-data states; pass ``frozenset()`` for flows
+        that resume mid-input.
+    excluded:
+        States removed from every new current set (the always-active
+        group handled by a separate ASG flow).
+    """
+
+    __slots__ = (
+        "compiled",
+        "persistent",
+        "one_shot",
+        "excluded",
+        "reports",
+        "symbols_processed",
+        "transitions",
+        "_started",
+        "_volatile",
+        "_latched",
+        "_latched_index",
+        "_latched_reports",
+        "_persistent_index",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledAutomaton,
+        *,
+        initial_current: Iterable[int] = (),
+        persistent: frozenset[int] | None = None,
+        one_shot: frozenset[int] | None = None,
+        excluded: frozenset[int] = frozenset(),
+    ) -> None:
+        self.compiled = compiled
+        self.persistent = (
+            compiled.all_input if persistent is None else persistent
+        )
+        self.one_shot = (
+            compiled.start_of_data if one_shot is None else one_shot
+        )
+        self.excluded = excluded
+        self.reports: list[Report] = []
+        self.symbols_processed = 0
+        self.transitions = 0
+        self._started = False
+
+        # The current set is split into a monotone *latched* part
+        # (full-label self-loop states: once matched, matched forever)
+        # and the *volatile* remainder.  Per-symbol work touches only
+        # the volatile part plus precomputed per-symbol indexes of the
+        # latched successors and persistent states.
+        self._volatile: set[int] = set()
+        self._latched: set[int] = set()
+        self._latched_index: list[set[int]] = [set() for _ in range(256)]
+        self._latched_reports: list[int] = []
+        self._persistent_index: list[tuple[int, ...]] | None = None
+        for sid in initial_current:
+            self._admit(sid)
+
+    # -- latched bookkeeping --------------------------------------------
+
+    def _admit(self, sid: int) -> None:
+        """Place a just-matched state into latched or volatile."""
+        if sid in self.compiled.latchable and sid not in self.excluded:
+            if sid not in self._latched:
+                self._latch(sid)
+        else:
+            self._volatile.add(sid)
+
+    def _latch(self, sid: int) -> None:
+        compiled = self.compiled
+        self._latched.add(sid)
+        self._volatile.discard(sid)
+        if sid in compiled.reporting:
+            self._latched_reports.append(sid)
+        automaton = compiled.automaton
+        for dst in compiled.succ[sid]:
+            if dst in self._latched or dst in self.excluded:
+                continue
+            for symbol in automaton.state(dst).label:
+                self._latched_index[symbol].add(dst)
+
+    def _build_persistent_index(self) -> list[tuple[int, ...]]:
+        table: list[list[int]] = [[] for _ in range(256)]
+        automaton = self.compiled.automaton
+        for sid in self.persistent:
+            if sid in self.compiled.latchable:
+                continue  # latches on its first match instead
+            for symbol in automaton.state(sid).label:
+                table[symbol].append(sid)
+        self._persistent_index = [tuple(row) for row in table]
+        return self._persistent_index
+
+    # -- stepping ---------------------------------------------------------
+
+    def step(self, symbol: int, offset: int) -> None:
+        """Consume one symbol whose global input offset is ``offset``."""
+        compiled = self.compiled
+        masks = compiled.label_masks
+        succ = compiled.succ
+        latchable = compiled.latchable
+        bit = 1 << symbol
+
+        fresh: set[int] = set()
+        add = fresh.add
+        for src in self._volatile:
+            for dst in succ[src]:
+                if masks[dst] & bit:
+                    add(dst)
+        fresh |= self._latched_index[symbol]
+
+        if self.persistent:
+            persistent_index = self._persistent_index
+            if persistent_index is None:
+                persistent_index = self._build_persistent_index()
+            fresh.update(persistent_index[symbol])
+            for sid in self.persistent & latchable:
+                if sid not in self._latched and masks[sid] & bit:
+                    add(sid)
+
+        if not self._started:
+            for dst in self.one_shot:
+                if masks[dst] & bit:
+                    add(dst)
+            self._started = True
+        if self.excluded:
+            fresh -= self.excluded
+
+        to_latch = [
+            sid
+            for sid in fresh
+            if sid in latchable and sid not in self._latched
+        ]
+        fresh -= self._latched
+        for sid in to_latch:
+            self._latch(sid)
+            fresh.discard(sid)
+        self._volatile = fresh
+
+        self.symbols_processed += 1
+        self.transitions += len(self._latched) + len(fresh)
+
+        if compiled.reporting:
+            codes = compiled.report_codes
+            if self._latched_reports:
+                self.reports.extend(
+                    Report(offset=offset, element=sid, code=codes[sid])
+                    for sid in self._latched_reports
+                )
+            hits = fresh & compiled.reporting
+            if hits:
+                self.reports.extend(
+                    Report(offset=offset, element=sid, code=codes[sid])
+                    for sid in hits
+                )
+
+    def run(self, data: bytes, base_offset: int = 0) -> None:
+        """Consume every byte of ``data``; offsets start at ``base_offset``."""
+        for index, symbol in enumerate(data):
+            self.step(symbol, base_offset + index)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def current(self) -> set[int]:
+        """The full current (just-matched) state set."""
+        return self._latched | self._volatile
+
+    def state_vector(self) -> frozenset[int]:
+        """Canonical snapshot of the dynamic state (for convergence and
+        deactivation checks — the AP's state-vector-cache comparator)."""
+        return frozenset(self._latched | self._volatile)
+
+    def is_dead(self) -> bool:
+        """True when this flow can never match again.
+
+        With no persistent or pending one-shot states, an empty current
+        set is absorbing: ``succ(empty)`` stays empty.
+        """
+        if self._latched or self._volatile or self.persistent:
+            return False
+        return self._started or not self.one_shot
+
+    def clone(self) -> "FlowExecution":
+        """An independent copy sharing the compiled tables."""
+        twin = FlowExecution(
+            self.compiled,
+            initial_current=self.state_vector(),
+            persistent=self.persistent,
+            one_shot=self.one_shot,
+            excluded=self.excluded,
+        )
+        twin.reports = list(self.reports)
+        twin.symbols_processed = self.symbols_processed
+        twin.transitions = self.transitions
+        twin._started = self._started
+        return twin
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a complete run: reports plus the final matched set."""
+
+    reports: list[Report]
+    final_current: frozenset[int]
+    symbols_processed: int
+    transitions: int
+
+    @property
+    def report_set(self) -> frozenset[Report]:
+        """Deduplicated reports — the library-wide correctness currency."""
+        return frozenset(self.reports)
+
+
+def run_automaton(
+    automaton: Automaton | CompiledAutomaton,
+    data: bytes,
+    *,
+    base_offset: int = 0,
+) -> ExecutionResult:
+    """Execute ``automaton`` over ``data`` with normal start semantics.
+
+    This is the reference sequential execution used as ground truth by
+    the test suite and as the AP baseline by :mod:`repro.ap.sequential`.
+    """
+    compiled = (
+        automaton
+        if isinstance(automaton, CompiledAutomaton)
+        else CompiledAutomaton(automaton)
+    )
+    flow = FlowExecution(compiled)
+    flow.run(data, base_offset)
+    return ExecutionResult(
+        reports=flow.reports,
+        final_current=flow.state_vector(),
+        symbols_processed=flow.symbols_processed,
+        transitions=flow.transitions,
+    )

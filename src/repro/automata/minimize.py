@@ -1,0 +1,96 @@
+"""DFA minimization (Hopcroft's algorithm).
+
+Completes the determinization substrate: Section 2.1's blowup argument
+is strongest against *minimal* DFAs, so the blowup measurements compare
+NFA sizes against the canonical minimum, not an accidental subset
+construction artifact.  Works over the symbol-partitioned DFAs produced
+by :func:`repro.automata.dfa.subset_construction`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.automata.dfa import Dfa
+
+
+def minimize(dfa: Dfa) -> Dfa:
+    """Hopcroft minimization; returns an equivalent minimal DFA.
+
+    The input must be complete (subset construction always is: the
+    empty subset is an explicit dead state).  State 0 of the result is
+    the class containing the input's initial state.
+    """
+    num_states = dfa.num_states
+    num_classes = len(dfa.classes)
+    if num_states == 0:
+        return dfa
+
+    accepting = frozenset(
+        sid for sid in range(num_states) if dfa.accepting[sid]
+    )
+    rejecting = frozenset(range(num_states)) - accepting
+
+    # Inverse transition function per symbol class.
+    inverse: list[dict[int, set[int]]] = [
+        defaultdict(set) for _ in range(num_classes)
+    ]
+    for src in range(num_states):
+        for klass in range(num_classes):
+            inverse[klass][dfa.transitions[src][klass]].add(src)
+
+    partition: list[frozenset[int]] = [
+        block for block in (accepting, rejecting) if block
+    ]
+    worklist: list[tuple[frozenset[int], int]] = [
+        (block, klass)
+        for block in partition
+        for klass in range(num_classes)
+    ]
+
+    while worklist:
+        splitter, klass = worklist.pop()
+        predecessors: set[int] = set()
+        for target in splitter:
+            predecessors |= inverse[klass][target]
+        if not predecessors:
+            continue
+        next_partition: list[frozenset[int]] = []
+        for block in partition:
+            inside = block & predecessors
+            outside = block - predecessors
+            if inside and outside:
+                next_partition.extend(
+                    (frozenset(inside), frozenset(outside))
+                )
+                smaller = min(inside, outside, key=len)
+                for refine_klass in range(num_classes):
+                    worklist.append((frozenset(smaller), refine_klass))
+            else:
+                next_partition.append(block)
+        partition = next_partition
+
+    # Renumber with the initial state's block first.
+    block_of: dict[int, int] = {}
+    ordered: list[frozenset[int]] = []
+    initial_block = next(block for block in partition if 0 in block)
+    ordered.append(initial_block)
+    for block in partition:
+        if block is not initial_block:
+            ordered.append(block)
+    for index, block in enumerate(ordered):
+        for sid in block:
+            block_of[sid] = index
+
+    minimal = Dfa(classes=list(dfa.classes), symbol_class=list(dfa.symbol_class))
+    for block in ordered:
+        representative = min(block)
+        minimal.subsets.append(frozenset(block))
+        minimal.accepting.append(dfa.accepting[representative])
+        minimal.transitions.append(
+            [
+                block_of[dfa.transitions[representative][klass]]
+                for klass in range(num_classes)
+            ]
+        )
+    return minimal

@@ -1,0 +1,167 @@
+"""Classic (non-homogeneous) NFAs.
+
+The paper describes automata in the textbook quintuple form
+``<Q, Sigma, delta, q0, F>`` before transforming them into the AP's
+homogeneous ANML representation.  This module implements that classic
+form — with character-class-labeled transitions and epsilon moves — and
+is used as an independent reference semantics by the test suite and as a
+front-end representation by the regex compiler.
+
+Report semantics match the rest of the library: a report fires at offset
+``t`` when an accepting state is reached after consuming the symbol at
+offset ``t`` (prefix matching, not whole-string acceptance; whole-string
+acceptance is :meth:`Nfa.accepts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.charclass import CharClass
+from repro.errors import AutomatonError
+
+
+@dataclass
+class Nfa:
+    """A classic NFA over the 256-symbol alphabet.
+
+    Transitions are stored per source state as ``(label, destination)``
+    pairs; epsilon moves are kept separately and eliminated on demand.
+    """
+
+    name: str = "nfa"
+    _transitions: list[list[tuple[CharClass, int]]] = field(default_factory=list)
+    _epsilon: list[list[int]] = field(default_factory=list)
+    start_states: set[int] = field(default_factory=set)
+    accept_states: set[int] = field(default_factory=set)
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, *, start: bool = False, accept: bool = False) -> int:
+        sid = len(self._transitions)
+        self._transitions.append([])
+        self._epsilon.append([])
+        if start:
+            self.start_states.add(sid)
+        if accept:
+            self.accept_states.add(sid)
+        return sid
+
+    def add_transition(self, src: int, label: CharClass, dst: int) -> None:
+        self._check(src)
+        self._check(dst)
+        if not label:
+            raise AutomatonError("transition label must be non-empty")
+        self._transitions[src].append((label, dst))
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self._check(src)
+        self._check(dst)
+        if dst not in self._epsilon[src]:
+            self._epsilon[src].append(dst)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self._transitions)
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    def transitions_from(self, src: int) -> tuple[tuple[CharClass, int], ...]:
+        self._check(src)
+        return tuple(self._transitions[src])
+
+    def epsilon_from(self, src: int) -> tuple[int, ...]:
+        self._check(src)
+        return tuple(self._epsilon[src])
+
+    def has_epsilon(self) -> bool:
+        return any(self._epsilon)
+
+    def used_symbols(self) -> CharClass:
+        """Union of every transition label (the effective alphabet)."""
+        mask = 0
+        for row in self._transitions:
+            for label, _ in row:
+                mask |= label.mask
+        return CharClass.from_mask(mask)
+
+    # -- semantics -------------------------------------------------------------
+
+    def epsilon_closure(self, states: set[int] | frozenset[int]) -> frozenset[int]:
+        closure = set(states)
+        frontier = list(states)
+        while frontier:
+            sid = frontier.pop()
+            for dst in self._epsilon[sid]:
+                if dst not in closure:
+                    closure.add(dst)
+                    frontier.append(dst)
+        return frozenset(closure)
+
+    def step(self, states: frozenset[int], symbol: int) -> frozenset[int]:
+        """One subset-semantics step (epsilon closure applied after)."""
+        nxt: set[int] = set()
+        for sid in states:
+            for label, dst in self._transitions[sid]:
+                if symbol in label:
+                    nxt.add(dst)
+        return self.epsilon_closure(nxt)
+
+    def initial(self) -> frozenset[int]:
+        return self.epsilon_closure(self.start_states)
+
+    def run(self, data: bytes, base_offset: int = 0) -> list[tuple[int, int]]:
+        """Prefix-match the input; returns ``(offset, state)`` report
+        pairs, one per accepting state active after each symbol."""
+        reports: list[tuple[int, int]] = []
+        current = self.initial()
+        for index, symbol in enumerate(data):
+            current = self.step(current, symbol)
+            for sid in current & self.accept_states:
+                reports.append((base_offset + index, sid))
+        return reports
+
+    def accepts(self, data: bytes) -> bool:
+        """Whole-string acceptance (the textbook language membership)."""
+        current = self.initial()
+        if not data:
+            return bool(current & self.accept_states)
+        for symbol in data:
+            current = self.step(current, symbol)
+        return bool(current & self.accept_states)
+
+    # -- transforms --------------------------------------------------------------
+
+    def without_epsilon(self) -> "Nfa":
+        """An equivalent NFA with epsilon moves eliminated.
+
+        Standard closure construction: each state inherits the non-epsilon
+        transitions of its closure, and a state is accepting/start when its
+        closure touches an accepting/original-start state (start handling
+        is folded into the start set directly).
+        """
+        result = Nfa(name=self.name)
+        for _ in range(self.num_states):
+            result.add_state()
+        for sid in range(self.num_states):
+            closure = self.epsilon_closure({sid})
+            for member in closure:
+                for label, dst in self._transitions[member]:
+                    result.add_transition(sid, label, dst)
+            if closure & self.accept_states:
+                result.accept_states.add(sid)
+        result.start_states = set(self.epsilon_closure(self.start_states))
+        return result
+
+    def _check(self, sid: int) -> None:
+        if not 0 <= sid < len(self._transitions):
+            raise AutomatonError(f"unknown NFA state {sid} in {self.name!r}")
+
+    def __repr__(self) -> str:
+        edges = sum(len(r) for r in self._transitions) + sum(
+            len(r) for r in self._epsilon
+        )
+        return f"Nfa(name={self.name!r}, states={self.num_states}, edges={edges})"

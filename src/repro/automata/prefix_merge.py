@@ -1,0 +1,86 @@
+"""Common-prefix merging (Becchi & Crowley), paper Section 4.1.
+
+Rulesets compiled pattern-by-pattern contain many duplicated prefix
+chains ("abc" and "abd" share "ab").  Merging them removes redundant
+traversals before execution — the paper applies this compression to the
+ANMLZoo benchmarks prior to evaluation, and notes it *reduces the number
+of connected components* (which is why ClamAV, Fermi and RandomForest
+are left uncompressed there; our workload generators follow suit).
+
+Two states are duplicates when they match the same symbols, start the
+same way, report identically and are enabled under exactly the same
+conditions (identical predecessor sets, with a self loop counting as a
+loop on the merged state rather than a distinguishing predecessor).
+Merging duplicates makes their children's predecessor sets collapse too,
+so the pass iterates to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.automata.anml import Automaton
+
+_SELF = -1
+
+
+def merge_common_prefixes(
+    automaton: Automaton, *, max_rounds: int = 256
+) -> Automaton:
+    """Return an equivalent automaton with duplicated prefixes shared.
+
+    The result preserves the deduplicated report stream: merged states
+    were enabled under identical conditions and carried identical labels
+    and report codes, so every match of the representative corresponds to
+    matches of all merged originals and vice versa.
+    """
+    current = automaton
+    for _ in range(max_rounds):
+        merged = _merge_round(current)
+        if merged.num_states == current.num_states:
+            return merged
+        current = merged
+    return current
+
+
+def _merge_round(automaton: Automaton) -> Automaton:
+    groups: dict[tuple, list[int]] = {}
+    for ste in automaton.states():
+        preds = frozenset(
+            _SELF if p == ste.sid else p for p in automaton.predecessors(ste.sid)
+        )
+        signature = (
+            ste.label.mask,
+            ste.start,
+            ste.reporting,
+            ste.code if ste.reporting else None,
+            preds,
+        )
+        groups.setdefault(signature, []).append(ste.sid)
+
+    representative: dict[int, int] = {}
+    for members in groups.values():
+        head = min(members)
+        for sid in members:
+            representative[sid] = head
+
+    keep = sorted(set(representative.values()))
+    remap = {old: new for new, old in enumerate(keep)}
+    result = Automaton(name=automaton.name)
+    for old in keep:
+        ste = automaton.state(old)
+        result.add_state(
+            ste.label,
+            start=ste.start,
+            reporting=ste.reporting,
+            report_code=ste.report_code,
+            name=ste.name,
+        )
+    for src, dst in automaton.edges():
+        result.add_edge(remap[representative[src]], remap[representative[dst]])
+    return result
+
+
+def compression_ratio(before: Automaton, after: Automaton) -> float:
+    """States removed by merging, as a fraction of the original count."""
+    if before.num_states == 0:
+        return 0.0
+    return 1.0 - after.num_states / before.num_states

@@ -1,0 +1,142 @@
+"""Seeded random automata for property-based testing.
+
+Two flavours:
+
+* :func:`random_automaton` — unconstrained graphs (arbitrary edges,
+  start kinds, labels) that stress the executor and the PAP composition
+  machinery on shapes no real ruleset would produce;
+* :func:`random_ruleset_automaton` — realistic pattern-matching shapes
+  (unions of chains, optional shared ``.*`` hubs, branching), matching
+  the structure the paper's optimizations exploit.
+
+Every generator takes an explicit :class:`random.Random` or seed so
+failures reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.builder import attach_pattern, star_self_loop
+from repro.automata.charclass import CharClass
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_label(
+    rng: random.Random, *, alphabet: bytes = b"abcd", full_probability: float = 0.1
+) -> CharClass:
+    """A random non-empty label over a small alphabet (small alphabets
+    make random inputs actually exercise matches)."""
+    if rng.random() < full_probability:
+        return CharClass.full()
+    size = rng.randint(1, max(1, len(alphabet) - 1))
+    return CharClass(rng.sample(list(alphabet), size))
+
+
+def random_automaton(
+    seed: int | random.Random,
+    *,
+    num_states: int = 12,
+    edge_probability: float = 0.15,
+    alphabet: bytes = b"abcd",
+    report_probability: float = 0.3,
+) -> Automaton:
+    """An arbitrary homogeneous automaton (adversarial shape).
+
+    Guarantees at least one start state; start kinds, self loops and
+    reporting flags are all randomized.
+    """
+    rng = _rng(seed)
+    automaton = Automaton(name=f"random-{num_states}")
+    for index in range(num_states):
+        roll = rng.random()
+        if roll < 0.15:
+            start = StartKind.ALL_INPUT
+        elif roll < 0.35:
+            start = StartKind.START_OF_DATA
+        else:
+            start = StartKind.NONE
+        automaton.add_state(
+            random_label(rng, alphabet=alphabet),
+            start=start,
+            reporting=rng.random() < report_probability,
+            report_code=index,
+        )
+    if not automaton.start_states():
+        # Rebuild state 0 cannot be done in-place (append-only), so add a
+        # dedicated start state instead.
+        sid = automaton.add_state(
+            random_label(rng, alphabet=alphabet),
+            start=StartKind.START_OF_DATA,
+        )
+        automaton.add_edge(sid, rng.randrange(num_states))
+    for src in range(automaton.num_states):
+        for dst in range(automaton.num_states):
+            if rng.random() < edge_probability:
+                automaton.add_edge(src, dst)
+    return automaton
+
+
+def random_ruleset_automaton(
+    seed: int | random.Random,
+    *,
+    num_patterns: int = 8,
+    min_length: int = 2,
+    max_length: int = 6,
+    alphabet: bytes = b"abcdef",
+    anchored_probability: float = 0.3,
+    shared_hub: bool = True,
+) -> Automaton:
+    """A union of random patterns, shaped like a real ruleset.
+
+    Unanchored patterns hang off a shared always-active ``.*`` hub when
+    ``shared_hub`` is set (the AP idiom), or get their own all-input
+    head otherwise.
+    """
+    rng = _rng(seed)
+    automaton = Automaton(name=f"ruleset-{num_patterns}")
+    hub = star_self_loop(automaton) if shared_hub else None
+    for pattern_index in range(num_patterns):
+        length = rng.randint(min_length, max_length)
+        labels = [random_label(rng, alphabet=alphabet) for _ in range(length)]
+        anchored = rng.random() < anchored_probability
+        if anchored or hub is None:
+            first = automaton.add_state(
+                labels[0],
+                start=(
+                    StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+                ),
+            )
+            previous = first
+            for label in labels[1:-1]:
+                sid = automaton.add_state(label)
+                automaton.add_edge(previous, sid)
+                previous = sid
+            tail_label = labels[-1] if length > 1 else labels[0]
+            if length > 1:
+                tail = automaton.add_state(
+                    tail_label, reporting=True, report_code=pattern_index
+                )
+                automaton.add_edge(previous, tail)
+            else:
+                # Single-state pattern: make the head itself report by
+                # appending a reporting twin fed from the head.
+                tail = automaton.add_state(
+                    tail_label, reporting=True, report_code=pattern_index
+                )
+                automaton.add_edge(first, tail)
+        else:
+            attach_pattern(automaton, hub, labels, report_code=pattern_index)
+    return automaton
+
+
+def random_input(
+    seed: int | random.Random, *, length: int = 64, alphabet: bytes = b"abcdef"
+) -> bytes:
+    """A random input string over the same small alphabet."""
+    rng = _rng(seed)
+    return bytes(rng.choice(alphabet) for _ in range(length))

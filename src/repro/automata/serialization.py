@@ -1,0 +1,86 @@
+"""ANML-lite serialization.
+
+Micron's toolchain exchanges automata as ANML (an XML dialect).  This
+library uses a JSON-friendly dict schema carrying the same information —
+enough to persist generated workloads, diff automata in tests, and feed
+external tooling.
+
+Schema::
+
+    {
+      "name": str,
+      "states": [
+        {"id": int, "label": "<hex mask>", "start": "none|start-of-data|all-input",
+         "reporting": bool, "report_code": int|null, "name": str},
+        ...
+      ],
+      "edges": [[src, dst], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.errors import AutomatonError
+
+SCHEMA_VERSION = 1
+
+
+def automaton_to_dict(automaton: Automaton) -> dict[str, Any]:
+    """Serialize to the ANML-lite dict schema."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": automaton.name,
+        "states": [
+            {
+                "id": ste.sid,
+                "label": f"{ste.label.mask:x}",
+                "start": ste.start.value,
+                "reporting": ste.reporting,
+                "report_code": ste.report_code,
+                "name": ste.name,
+            }
+            for ste in automaton.states()
+        ],
+        "edges": [[src, dst] for src, dst in automaton.edges()],
+    }
+
+
+def automaton_from_dict(payload: dict[str, Any]) -> Automaton:
+    """Deserialize; validates ids are dense and the structure is sound."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise AutomatonError(
+            f"unsupported ANML-lite schema: {payload.get('schema')!r}"
+        )
+    automaton = Automaton(name=str(payload.get("name", "automaton")))
+    states = payload.get("states", [])
+    for expected_id, state in enumerate(states):
+        if state["id"] != expected_id:
+            raise AutomatonError(
+                f"non-dense state ids: expected {expected_id}, got {state['id']}"
+            )
+        automaton.add_state(
+            CharClass.from_mask(int(state["label"], 16)),
+            start=StartKind(state["start"]),
+            reporting=bool(state["reporting"]),
+            report_code=state.get("report_code"),
+            name=str(state.get("name", "")),
+        )
+    for src, dst in payload.get("edges", []):
+        automaton.add_edge(src, dst)
+    automaton.validate()
+    return automaton
+
+
+def dumps(automaton: Automaton, *, indent: int | None = None) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(automaton_to_dict(automaton), indent=indent)
+
+
+def loads(text: str) -> Automaton:
+    """Deserialize from a JSON string."""
+    return automaton_from_dict(json.loads(text))

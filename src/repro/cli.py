@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+* ``list`` — the 19 evaluation benchmarks and their Table 1 rows;
+* ``run`` — one benchmark end to end (baseline vs. PAP) with metrics;
+* ``match`` — compile patterns and scan a file, sequential vs. PAP;
+* ``table1`` / ``fig3`` — regenerate the characterization tables;
+* ``speculate`` — the speculation extension on one benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.core.config import PAPConfig
+from repro.core.pap import ParallelAutomataProcessor
+from repro.core.ranges import choose_partition_symbol, range_profile
+from repro.core.speculation import SpeculativeAutomataProcessor
+from repro.ap.geometry import BoardGeometry
+from repro.ap.sequential import run_sequential
+from repro.regex.ruleset import compile_ruleset
+from repro.sim.report import format_figure3, format_table1
+from repro.sim.runner import run_benchmark
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+PAPER_BYTES = {"1MB": 1_048_576, "10MB": 10_485_760}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale relative to the paper's state counts",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print(f"{'Benchmark':<18}{'Paper states':>14}{'CCs':>8}{'Half-cores':>12}")
+    for name in BENCHMARK_NAMES:
+        bench = build_benchmark(name, scale=0.01)
+        row = bench.paper
+        print(
+            f"{name:<18}{row.states:>14}{row.components:>8}"
+            f"{row.half_cores:>12}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    run = run_benchmark(
+        bench,
+        ranks=args.ranks,
+        trace_bytes=args.trace_bytes,
+        modeled_bytes=PAPER_BYTES.get(args.model_input),
+        trace_seed=args.seed + 1,
+    )
+    pap = run.pap
+    print(f"benchmark        : {run.name} (scale {args.scale})")
+    print(f"automaton        : {bench.automaton.num_states} states")
+    print(f"trace            : {run.trace_bytes} bytes")
+    print(f"segments         : {pap.num_segments} on {args.ranks} rank(s)")
+    print(f"baseline cycles  : {run.baseline.total_cycles}")
+    print(f"PAP cycles       : {pap.total_cycles}")
+    print(f"speedup          : {run.speedup:.2f}x (ideal {run.ideal_speedup}x)")
+    print(f"avg active flows : {pap.average_active_flows:.2f}")
+    print(
+        f"dynamics         : {pap.deactivations} deactivated, "
+        f"{pap.convergence_merges} converged, "
+        f"{pap.fiv_invalidations} FIV-killed"
+    )
+    print(
+        f"reports          : {len(pap.reports)} "
+        f"(amplification {pap.event_amplification:.2f}x, "
+        f"verified {'OK' if run.reports_match else 'MISMATCH'})"
+    )
+    return 0 if run.reports_match else 1
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    with open(args.file, "rb") as handle:
+        data = handle.read()
+    automaton, stats = compile_ruleset(args.pattern, name="cli")
+    print(
+        f"{stats.num_rules} patterns -> {automaton.num_states} states "
+        f"({stats.compression:.0%} prefix compression)"
+    )
+    baseline = run_sequential(automaton, data)
+    pap = ParallelAutomataProcessor(
+        automaton, config=PAPConfig(geometry=BoardGeometry(ranks=args.ranks))
+    )
+    result = pap.run(data)
+    status = "OK" if result.reports == baseline.reports else "MISMATCH"
+    print(
+        f"{len(baseline.reports)} matches over {len(data)} bytes "
+        f"[verification {status}]"
+    )
+    print(
+        f"speedup {baseline.total_cycles / max(1, result.total_cycles):.2f}x "
+        f"on {result.num_segments} segments"
+    )
+    limit = args.show
+    for report in sorted(result.reports)[:limit]:
+        print(f"  rule {report.code} at offset {report.offset}")
+    return 0 if status == "OK" else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
+        analysis = AutomatonAnalysis(bench.automaton)
+        components = len(analysis.connected_components())
+        data = bench.trace(16_384, args.seed + 7)
+        choice = choose_partition_symbol(
+            analysis,
+            data,
+            num_segments=bench.paper.segments_one_rank,
+            exclude=analysis.path_independent_states(),
+        )
+        raw = len(analysis.symbol_range(choice.symbol))
+        rows.append((bench, bench.automaton.num_states, components, raw))
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
+        analysis = AutomatonAnalysis(bench.automaton)
+        rows.append(
+            (name, bench.automaton.num_states, range_profile(analysis))
+        )
+    print(format_figure3(rows))
+    return 0
+
+
+def _cmd_speculate(args: argparse.Namespace) -> int:
+    bench = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    data = bench.trace(args.trace_bytes, args.seed + 1)
+    baseline = run_sequential(bench.automaton, data)
+    config = PAPConfig(geometry=BoardGeometry(ranks=args.ranks))
+    for predictor in ("cold", "profile"):
+        spec = SpeculativeAutomataProcessor(
+            bench.automaton,
+            config=config,
+            half_cores=bench.half_cores,
+            predictor=predictor,
+        )
+        result = spec.run(data)
+        ok = result.reports == baseline.reports
+        print(
+            f"{predictor:<8} speedup "
+            f"{baseline.total_cycles / max(1, result.total_cycles):6.2f}x  "
+            f"accuracy {result.prediction_accuracy * 100:5.1f}%  "
+            f"mispredictions {result.mispredictions}  "
+            f"[{'OK' if ok else 'MISMATCH'}]"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel Automata Processor reproduction "
+            "(Subramaniyan & Das, ISCA 2017)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the evaluation benchmarks")
+
+    run_parser = commands.add_parser("run", help="run one benchmark")
+    run_parser.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run_parser.add_argument("--ranks", type=int, default=1, choices=(1, 2, 4))
+    run_parser.add_argument("--trace-bytes", type=int, default=65_536)
+    run_parser.add_argument(
+        "--model-input",
+        choices=("1MB", "10MB"),
+        default="1MB",
+        help="paper input size the trace stands in for",
+    )
+    _add_common(run_parser)
+
+    match_parser = commands.add_parser(
+        "match", help="scan a file with regex patterns"
+    )
+    match_parser.add_argument("file")
+    match_parser.add_argument(
+        "--pattern", action="append", required=True, help="repeatable"
+    )
+    match_parser.add_argument("--ranks", type=int, default=1, choices=(1, 2, 4))
+    match_parser.add_argument("--show", type=int, default=10)
+
+    table_parser = commands.add_parser(
+        "table1", help="regenerate Table 1 characteristics"
+    )
+    _add_common(table_parser)
+
+    fig3_parser = commands.add_parser(
+        "fig3", help="regenerate Figure 3 range profiles"
+    )
+    _add_common(fig3_parser)
+
+    spec_parser = commands.add_parser(
+        "speculate", help="run the speculation extension"
+    )
+    spec_parser.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    spec_parser.add_argument("--ranks", type=int, default=1, choices=(1, 2, 4))
+    spec_parser.add_argument("--trace-bytes", type=int, default=65_536)
+    _add_common(spec_parser)
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "match": _cmd_match,
+    "table1": _cmd_table1,
+    "fig3": _cmd_fig3,
+    "speculate": _cmd_speculate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Host-side composition of segment results (Section 3.4).
+
+After a segment finishes, the host reads its final state vector,
+decides which enumeration units were *true* (all members inside the
+previous segment's final matched set), filters the segment's buffered
+report events down to true ones, and reconstructs the segment's own
+final matched set ``M`` for the next segment's composition:
+
+    M = ASG-flow final current
+        UNION over true units u of (final current of u's last flow,
+                                     masked to u's connected component)
+
+Event truth is decided per (flow, component, offset): an event is true
+when some true unit of that component was assigned to the emitting flow
+at or before the event's offset (units move between flows only at
+convergence points, where both flows' futures are provably identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.execution import Report
+from repro.core.scheduler import (
+    ASG_FLOW_ID,
+    GOLDEN_FLOW_ID,
+    SegmentResult,
+)
+from repro.errors import CompositionError
+
+
+def unit_truth_map(
+    result_plan_units, previous_matched: frozenset[int]
+) -> dict[int, bool]:
+    """Truth verdict for every unit of a segment plan."""
+    return {
+        unit.unit_id: unit.is_true(previous_matched)
+        for flow in result_plan_units
+        for unit in flow.units
+    }
+
+
+@dataclass(frozen=True)
+class ComposedSegment:
+    """Composition outcome of one segment."""
+
+    true_reports: frozenset[Report]
+    final_matched: frozenset[int]
+    true_events: int
+    raw_events: int
+
+    @property
+    def false_events(self) -> int:
+        return self.raw_events - self.true_events
+
+
+def compose_segment(
+    result: SegmentResult,
+    unit_truth: dict[int, bool],
+    analysis: AutomatonAnalysis,
+) -> ComposedSegment:
+    """Filter one segment's events and rebuild its final matched set."""
+    if result.plan.is_golden:
+        reports = frozenset(
+            event.to_report() for event in result.events
+        )
+        return ComposedSegment(
+            true_reports=reports,
+            final_matched=result.final_currents[GOLDEN_FLOW_ID],
+            true_events=len(result.events),
+            raw_events=len(result.events),
+        )
+
+    units_by_id = {
+        unit.unit_id: unit
+        for flow in result.plan.flows
+        for unit in flow.units
+    }
+    component_of = analysis.component_index()
+
+    # (flow, component) -> earliest offset from which a true unit's
+    # results flow through that flow.
+    true_from: dict[tuple[int, int], int] = {}
+    for unit_id, assignments in result.unit_history.items():
+        if not unit_truth.get(unit_id, False):
+            continue
+        component = units_by_id[unit_id].component
+        for flow_id, from_offset in assignments:
+            key = (flow_id, component)
+            if key not in true_from or from_offset < true_from[key]:
+                true_from[key] = from_offset
+
+    true_reports: set[Report] = set()
+    true_events = 0
+    for event in result.events:
+        if event.flow_id == ASG_FLOW_ID:
+            true_reports.add(event.to_report())
+            true_events += 1
+            continue
+        key = (event.flow_id, component_of[event.element])
+        threshold = true_from.get(key)
+        if threshold is not None and event.offset >= threshold:
+            true_reports.add(event.to_report())
+            true_events += 1
+
+    # Rebuild M: ASG current plus true units' component-masked currents.
+    components = analysis.connected_components()
+    matched: set[int] = set(result.asg_final)
+    for unit_id, truthful in unit_truth.items():
+        if not truthful:
+            continue
+        unit = units_by_id.get(unit_id)
+        if unit is None:
+            raise CompositionError(f"truth verdict for unknown unit {unit_id}")
+        last_flow, _ = result.unit_history[unit_id][-1]
+        final = result.final_currents.get(last_flow, frozenset())
+        matched.update(final & components[unit.component])
+
+    return ComposedSegment(
+        true_reports=frozenset(true_reports),
+        final_matched=frozenset(matched),
+        true_events=true_events,
+        raw_events=len(result.events),
+    )

@@ -1,0 +1,89 @@
+"""PAP configuration.
+
+One dataclass gathers every knob of the parallel architecture: board
+geometry, timing constants, TDM granularity, check cadences, and
+per-optimization toggles (the toggles drive the Figure 9 waterfall and
+the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ap.geometry import BoardGeometry
+from repro.ap.timing import DEFAULT_TIMING, TimingModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PAPConfig:
+    """Configuration of one Parallel Automata Processor run.
+
+    Attributes
+    ----------
+    geometry:
+        The AP board (1-rank and 4-rank presets live in
+        :mod:`repro.ap.geometry`).
+    timing:
+        Latency constants in symbol cycles.
+    tdm_slice_symbols:
+        ``k``: symbols each flow processes before a context switch
+        (Section 3.2); also the input-buffer granularity.
+    convergence_period_steps:
+        Dynamic convergence checks run every this many TDM steps
+        (Section 3.3.3 uses 10).
+    early_check_symbols:
+        During the first TDM step, deactivation checks run at this
+        sub-slice granularity — the paper observes most flows die within
+        ~20 symbols and adds "a few extra deactivation checks even
+        before the first TDM step completes" (Section 3.3.4).
+    max_flows:
+        State-vector-cache capacity per device (512).  Plans exceeding
+        it are recorded as overflowing (Section 5.1 calls the reduction
+        optimizations "essential" precisely because of this limit).
+    use_*:
+        Optimization toggles: connected-component merging, common-parent
+        merging, the ASG flow, dynamic convergence checks, deactivation
+        checks, and the flow-invalidation vector.
+    """
+
+    geometry: BoardGeometry = field(default_factory=BoardGeometry)
+    timing: TimingModel = DEFAULT_TIMING
+    tdm_slice_symbols: int = 256
+    convergence_period_steps: int = 10
+    early_check_symbols: int = 16
+    max_flows: int = 512
+    use_connected_components: bool = True
+    use_common_parent: bool = True
+    use_asg: bool = True
+    use_convergence: bool = True
+    use_deactivation: bool = True
+    use_fiv: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tdm_slice_symbols < 1:
+            raise ConfigurationError("TDM slice must be at least 1 symbol")
+        if self.convergence_period_steps < 1:
+            raise ConfigurationError("convergence period must be >= 1 step")
+        if self.early_check_symbols < 1:
+            raise ConfigurationError("early check granularity must be >= 1")
+        if self.max_flows < 1:
+            raise ConfigurationError("max_flows must be >= 1")
+
+    def with_ranks(self, ranks: int) -> "PAPConfig":
+        return replace(self, geometry=self.geometry.with_ranks(ranks))
+
+    def without_optimizations(self) -> "PAPConfig":
+        """Plain enumeration: every optimization off (ablation base)."""
+        return replace(
+            self,
+            use_connected_components=False,
+            use_common_parent=False,
+            use_asg=False,
+            use_convergence=False,
+            use_deactivation=False,
+            use_fiv=False,
+        )
+
+
+DEFAULT_CONFIG = PAPConfig()

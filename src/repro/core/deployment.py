@@ -1,0 +1,128 @@
+"""Deploying a PAP plan onto the modeled board.
+
+The scheduler reasons about segments abstractly; this module performs
+the physical side: one FSM replica per input segment, each placed on a
+disjoint half-core group (components never split across half-cores —
+the routing matrix has no inter-half-core paths), with every segment's
+flows bound to state-vector-cache slots on its replica's device.
+
+Deployment validates the resource claims behind Table 1's segment
+counts: ``segments = floor(board half-cores / FSM half-cores)`` is only
+legal because the replicas actually fit, and the 512-entry state-vector
+cache bounds the planned flows per segment (Section 5.1 calls the flow
+reductions "essential" precisely for this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.ap.device import Board
+from repro.ap.placement import Placement, place_automaton
+from repro.ap.state_vector import StateVector
+from repro.core.pap import PAPPlan
+from repro.core.scheduler import ASG_FLOW_ID
+from repro.errors import CapacityError, PlacementError
+
+
+@dataclass(frozen=True)
+class SegmentDeployment:
+    """Where one segment's replica lives."""
+
+    segment_index: int
+    first_half_core: int
+    placement: Placement
+    device_index: int
+    flow_slots: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A full plan mapped onto a board."""
+
+    segments: tuple[SegmentDeployment, ...]
+
+    @property
+    def half_cores_used(self) -> int:
+        return sum(s.placement.half_cores for s in self.segments)
+
+
+def deploy_plan(
+    board: Board,
+    automaton: Automaton,
+    plan: PAPPlan,
+    *,
+    analysis: AutomatonAnalysis | None = None,
+) -> Deployment:
+    """Place one replica per segment and bind flows to cache slots.
+
+    Raises :class:`PlacementError` when the replicas do not fit the
+    board and :class:`CapacityError` when a segment plans more flows
+    than its device's state-vector cache holds.
+    """
+    analysis = analysis or AutomatonAnalysis(automaton)
+    placement = place_automaton(
+        automaton,
+        capacity=board.geometry.stes_per_half_core,
+        analysis=analysis,
+    )
+    needed = placement.half_cores * len(plan.segments)
+    if needed > board.num_half_cores:
+        raise PlacementError(
+            f"{len(plan.segments)} replicas x {placement.half_cores} "
+            f"half-cores need {needed}, board has {board.num_half_cores}"
+        )
+
+    deployments = []
+    next_half_core = 0
+    per_device = board.geometry.half_cores_per_device
+    for segment_plan in plan.segments:
+        board.load_automaton(
+            automaton,
+            placement=placement,
+            first_half_core=next_half_core,
+            analysis=analysis,
+        )
+        device_index = next_half_core // per_device
+        device = board.devices[device_index]
+        cache = device.state_vector_cache
+
+        # Bind flows: the ASG flow plus each planned enumeration flow.
+        slots = []
+        flow_ids = [] if segment_plan.is_golden else [ASG_FLOW_ID]
+        flow_ids.extend(flow.flow_id for flow in segment_plan.flows)
+        if len(flow_ids) > cache.capacity - cache.occupied():
+            raise CapacityError(
+                f"segment {segment_plan.segment.index} plans "
+                f"{len(flow_ids)} flows; device {device_index}'s state "
+                f"vector cache has {cache.capacity - cache.occupied()} "
+                "free slots"
+            )
+        base = cache.occupied()
+        for offset, flow_id in enumerate(flow_ids):
+            slot = base + offset
+            initial = (
+                segment_plan.asg_initial
+                if flow_id == ASG_FLOW_ID
+                else next(
+                    flow.initial_current()
+                    for flow in segment_plan.flows
+                    if flow.flow_id == flow_id
+                )
+            )
+            cache.save(slot, StateVector(active=frozenset(initial)))
+            slots.append(slot)
+
+        deployments.append(
+            SegmentDeployment(
+                segment_index=segment_plan.segment.index,
+                first_half_core=next_half_core,
+                placement=placement,
+                device_index=device_index,
+                flow_slots=tuple(slots),
+            )
+        )
+        next_half_core += placement.half_cores
+    return Deployment(segments=tuple(deployments))

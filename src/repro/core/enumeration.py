@@ -1,0 +1,106 @@
+"""Enumeration units: candidate boundary matches grouped by parent.
+
+A segment's possible start condition is "some subset of the previous
+boundary symbol's range was matched".  Enumerating subsets is
+exponential; enumerating *states* is linear because homogeneous stepping
+distributes over unions.  Common-parent grouping (Section 3.3.2)
+shrinks this further: if parent ``p`` matched the symbol before the
+boundary, then *every* child of ``p`` labeled with the boundary symbol
+matched together — so those children form one indivisible enumeration
+unit, true exactly when all its members are in the previous segment's
+final matched set ``M``.
+
+That membership rule is exact both ways:
+
+* soundness — a unit entirely inside ``M`` only contributes executions
+  from states that truly matched, so no false results are admitted even
+  if the unit's own parent did not match;
+* completeness — every state of ``M`` has at least one parent that
+  matched one symbol earlier, and that parent's whole unit lies inside
+  ``M``, so every true start state is covered by some true unit.
+
+States appearing under several parents are members of several units
+(the paper's "for correctness S46 has to be included in both flows").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+
+
+@dataclass(frozen=True)
+class EnumerationUnit:
+    """One indivisible enumeration path group.
+
+    ``parent`` is the common parent state, or ``None`` for a singleton
+    unit created when parent merging is disabled.  All members share one
+    connected component, recorded in ``component``.
+    """
+
+    unit_id: int
+    parent: int | None
+    members: frozenset[int]
+    component: int
+
+    def is_true(self, previous_matched: frozenset[int]) -> bool:
+        """The composition truth rule: every member matched at the
+        boundary."""
+        return self.members <= previous_matched
+
+
+def build_units(
+    analysis: AutomatonAnalysis,
+    range_states: frozenset[int],
+    *,
+    merge_by_parent: bool = True,
+    force_singletons: frozenset[int] = frozenset(),
+) -> list[EnumerationUnit]:
+    """Group ``range_states`` into enumeration units.
+
+    With parent merging each parent contributes one unit holding all its
+    range children (duplicate member sets deduplicated); without it each
+    range state is its own unit.  Unit ids are dense and deterministic
+    (sorted by member tuple) so plans are reproducible.
+
+    ``force_singletons`` lists states that must additionally carry a
+    singleton unit even when grouped under parents: at a boundary at
+    input offset 0, start-of-data states match *without* any parent
+    having matched, so parent groups alone would not cover them.
+    """
+    component_of = analysis.component_index()
+    groups: set[frozenset[int]] = set()
+    if merge_by_parent:
+        children: dict[int, set[int]] = {}
+        for sid in range_states:
+            parents = analysis.parents_of(sid)
+            if not parents:
+                # Only persistently-enabled (or offset-0) states are
+                # matchable without parents; they form their own unit.
+                groups.add(frozenset({sid}))
+                continue
+            for parent in parents:
+                children.setdefault(parent, set()).add(sid)
+        parent_of_group: dict[frozenset[int], int] = {}
+        for parent, members in children.items():
+            group = frozenset(members)
+            groups.add(group)
+            parent_of_group.setdefault(group, parent)
+        for sid in force_singletons & range_states:
+            groups.add(frozenset({sid}))
+    else:
+        groups = {frozenset({sid}) for sid in range_states}
+        parent_of_group = {}
+
+    units = []
+    for unit_id, members in enumerate(sorted(groups, key=lambda g: sorted(g))):
+        units.append(
+            EnumerationUnit(
+                unit_id=unit_id,
+                parent=parent_of_group.get(members),
+                members=members,
+                component=component_of[next(iter(members))],
+            )
+        )
+    return units

@@ -1,0 +1,112 @@
+"""Flow planning: packing enumeration units into AP flows.
+
+Connected-component merging (Section 3.3.1): the AP executes any number
+of simultaneous transitions per cycle, so units whose state spaces can
+never overlap — units from *different* connected components — share one
+flow and are separated afterwards by masking end states and reports with
+per-component state sets.  Packing follows the paper's Figure 4: within
+each component the units are stacked vertically, and flow ``j`` takes
+the ``j``-th unit of every component, so the flow count equals the
+*maximum* number of units in any single component.
+
+The Active State Group (Section 3.3.2) runs as one dedicated,
+always-true flow per segment; see :mod:`repro.core.scheduler` for its
+execution semantics and :mod:`repro.automata.analysis` for membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.enumeration import EnumerationUnit
+
+
+@dataclass(frozen=True)
+class PlannedFlow:
+    """One flow of one segment: a set of units from distinct components."""
+
+    flow_id: int
+    units: tuple[EnumerationUnit, ...]
+
+    def initial_current(self) -> frozenset[int]:
+        members: set[int] = set()
+        for unit in self.units:
+            members.update(unit.members)
+        return frozenset(members)
+
+    def components(self) -> frozenset[int]:
+        return frozenset(unit.component for unit in self.units)
+
+
+@dataclass(frozen=True)
+class FlowReductionStats:
+    """The Figure 9 waterfall for one segment plan."""
+
+    flows_in_range: int
+    flows_after_cc: int
+    flows_after_parent: int
+    planned_flows: int
+
+
+@dataclass
+class FlowPlan:
+    """All enumeration flows of one segment plus reduction statistics."""
+
+    flows: list[PlannedFlow] = field(default_factory=list)
+    stats: FlowReductionStats = FlowReductionStats(0, 0, 0, 0)
+
+
+def pack_flows(
+    units: list[EnumerationUnit],
+    *,
+    range_size: int,
+    merge_by_component: bool = True,
+) -> FlowPlan:
+    """Pack ``units`` into flows.
+
+    With component merging, one flow holds at most one unit per
+    component (Figure 4's vertical lines); without it every unit is its
+    own flow.  The returned stats report the canonical waterfall
+    independent of the toggles actually used: paths in the range, after
+    CC-only merging, and after CC + parent merging.
+    """
+    by_component: dict[int, list[EnumerationUnit]] = {}
+    for unit in units:
+        by_component.setdefault(unit.component, []).append(unit)
+
+    range_per_component: dict[int, set[int]] = {}
+    for unit in units:
+        range_per_component.setdefault(unit.component, set()).update(unit.members)
+
+    flows_after_cc = max(
+        (len(members) for members in range_per_component.values()), default=0
+    )
+    flows_after_parent = max(
+        (len(group) for group in by_component.values()), default=0
+    )
+
+    flows: list[PlannedFlow] = []
+    if merge_by_component:
+        depth = flows_after_parent
+        for level in range(depth):
+            stacked = tuple(
+                group[level]
+                for _, group in sorted(by_component.items())
+                if level < len(group)
+            )
+            flows.append(PlannedFlow(flow_id=level, units=stacked))
+    else:
+        flows = [
+            PlannedFlow(flow_id=index, units=(unit,))
+            for index, unit in enumerate(units)
+        ]
+
+    return FlowPlan(
+        flows=flows,
+        stats=FlowReductionStats(
+            flows_in_range=range_size,
+            flows_after_cc=flows_after_cc,
+            flows_after_parent=flows_after_parent,
+            planned_flows=len(flows),
+        ),
+    )

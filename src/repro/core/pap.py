@@ -1,0 +1,284 @@
+"""The Parallel Automata Processor: planning and orchestration.
+
+:class:`ParallelAutomataProcessor` ties the whole Section 3 framework
+together (the paper's Figure 7):
+
+1. *Preprocessing* (:meth:`plan`): profile symbol ranges, choose the
+   partition symbol, cut the input, build enumeration units
+   (common-parent merging), pack them into flows (connected-component
+   merging), and compute each segment's ASG seed.
+2. *Runtime* (:meth:`run`): execute segments on their half-core groups
+   under TDM with deactivation/convergence checks, chain host
+   composition segment to segment (truth masking + FIV, overlapped with
+   later segments' execution), and fall back to the golden execution if
+   enumeration would lose.
+
+The report-set correctness contract: ``run(data).reports`` equals the
+sequential baseline's deduplicated report set for *every* automaton and
+input — the test suite enforces this with property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.execution import CompiledAutomaton
+from repro.ap.placement import place_automaton, segments_available
+from repro.core.composition import compose_segment, unit_truth_map
+from repro.core.config import DEFAULT_CONFIG, PAPConfig
+from repro.core.enumeration import build_units
+from repro.core.merging import FlowReductionStats, pack_flows
+from repro.core.metrics import PAPRunResult
+from repro.core.partitioning import partition_input
+from repro.core.ranges import (
+    PartitionSymbolChoice,
+    choose_partition_symbol,
+    enumeration_range,
+)
+from repro.core.scheduler import SegmentPlan, SegmentScheduler
+from repro.host.decode import false_path_decode_cycles
+from repro.host.reporting import report_processing_cycles
+
+_EMPTY_STATS = FlowReductionStats(0, 0, 0, 0)
+
+
+def _live_enumeration_flows(result) -> int:
+    """Enumeration flows still alive at a segment's end (ASG excluded)."""
+    if result.plan.is_golden:
+        return 0
+    return result.metrics.enum_flows_at_end
+
+
+@dataclass(frozen=True)
+class PAPPlan:
+    """The preprocessing outcome for one input."""
+
+    segments: tuple[SegmentPlan, ...]
+    partition_choice: PartitionSymbolChoice | None
+
+    @property
+    def max_planned_flows(self) -> int:
+        return max(
+            (len(plan.flows) for plan in self.segments), default=0
+        )
+
+
+class ParallelAutomataProcessor:
+    """Parallel NFA execution on the modeled AP board.
+
+    Parameters
+    ----------
+    automaton:
+        The homogeneous automaton to accelerate.
+    config:
+        Board geometry, timing, and optimization toggles.
+    half_cores:
+        The FSM's half-core footprint.  Defaults to capacity-based
+        placement; pass the paper's Table 1 values to reproduce its
+        segment counts for the large benchmarks that route poorly.
+    """
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        *,
+        config: PAPConfig = DEFAULT_CONFIG,
+        half_cores: int | None = None,
+    ) -> None:
+        automaton.validate()
+        self.automaton = automaton
+        self.config = config
+        self.analysis = AutomatonAnalysis(automaton)
+        self.compiled = CompiledAutomaton(automaton)
+        if half_cores is None:
+            half_cores = place_automaton(
+                automaton, analysis=self.analysis
+            ).half_cores
+        self.half_cores = half_cores
+        # Depth-0 path independence is exact at every input offset; see
+        # AutomatonAnalysis.always_active_depths for the depth semantics.
+        self.path_independent = self.analysis.path_independent_states(0)
+
+    # -- preprocessing -------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        """Parallel segments the configured board supports."""
+        return max(
+            1, segments_available(self.config.geometry, self.half_cores)
+        )
+
+    def plan(self, data: bytes) -> PAPPlan:
+        """Range profiling, input partitioning, and flow planning."""
+        if not data:
+            return PAPPlan(segments=(), partition_choice=None)
+        exclude = (
+            self.path_independent if self.config.use_asg else frozenset()
+        )
+        choice = choose_partition_symbol(
+            self.analysis,
+            data,
+            num_segments=self.num_segments,
+            exclude=exclude,
+        )
+        segments = partition_input(
+            data, self.num_segments, symbol=choice.symbol
+        )
+        plans: list[SegmentPlan] = []
+        for segment in segments:
+            if segment.index == 0:
+                plans.append(
+                    SegmentPlan(
+                        segment=segment,
+                        flows=(),
+                        stats=_EMPTY_STATS,
+                        asg_initial=frozenset(),
+                        is_golden=True,
+                    )
+                )
+                continue
+            assert segment.boundary_symbol is not None
+            boundary = segment.boundary_symbol
+            boundary_at_zero = segment.start == 1
+            range_states = enumeration_range(
+                self.analysis,
+                boundary,
+                exclude=exclude,
+                boundary_at_offset_zero=boundary_at_zero,
+            )
+            force_singletons = (
+                frozenset(self.automaton.start_of_data_states())
+                if boundary_at_zero
+                else frozenset()
+            )
+            units = build_units(
+                self.analysis,
+                range_states,
+                merge_by_parent=self.config.use_common_parent,
+                force_singletons=force_singletons,
+            )
+            flow_plan = pack_flows(
+                units,
+                range_size=len(range_states),
+                merge_by_component=self.config.use_connected_components,
+            )
+            asg_initial = frozenset(
+                sid
+                for sid in self.path_independent
+                if boundary in self.automaton.state(sid).label
+            )
+            plans.append(
+                SegmentPlan(
+                    segment=segment,
+                    flows=tuple(flow_plan.flows),
+                    stats=flow_plan.stats,
+                    asg_initial=asg_initial,
+                    is_golden=False,
+                )
+            )
+        return PAPPlan(segments=tuple(plans), partition_choice=choice)
+
+    # -- runtime ----------------------------------------------------------------
+
+    def run(self, data: bytes) -> PAPRunResult:
+        """Execute the full PAP pipeline over ``data``.
+
+        Timing follows Section 3.4: the host decode of segment ``j``'s
+        final state vector (``T_cpu``) sits on a serial availability
+        chain ``A[j] = max(A[j-1], finish[j]) + T_cpu[j]`` because
+        segment ``j+1``'s truth needs ``M[j]``.  The chain *skips*
+        segments whose successor self-resolved — when every enumeration
+        flow of ``j+1`` deactivated or converged away on its own, the
+        paper "does not incur this extra invalidation overhead in the
+        common case" and ``M[j]`` is never read on the critical path.
+        FIV arrival times are computed from the pessimistic
+        (always-decode) chain, since the host only builds an FIV while
+        the target segment still has live flows.
+        """
+        plan = self.plan(data)
+        scheduler = SegmentScheduler(
+            self.compiled, self.analysis, self.config, self.path_independent
+        )
+        timing = self.config.timing
+
+        segment_results = []
+        composed_segments = []
+        decode_costs: list[int] = []
+        fiv_chain = 0
+        previous_matched: frozenset[int] = frozenset()
+
+        for segment_plan in plan.segments:
+            if segment_plan.is_golden:
+                result = scheduler.run_segment(data, segment_plan)
+                composed = compose_segment(result, {}, self.analysis)
+            else:
+                truth = unit_truth_map(segment_plan.flows, previous_matched)
+                fiv_time = (
+                    fiv_chain + timing.fiv_transfer_cycles
+                    if self.config.use_fiv
+                    else None
+                )
+                result = scheduler.run_segment(
+                    data, segment_plan, unit_truth=truth, fiv_time=fiv_time
+                )
+                composed = compose_segment(result, truth, self.analysis)
+            decode = false_path_decode_cycles(
+                max(1, result.metrics.flows_at_end), timing=timing
+            )
+            fiv_chain = (
+                max(fiv_chain, result.metrics.finish_cycles) + decode
+            )
+            segment_results.append(result)
+            composed_segments.append(composed)
+            decode_costs.append(decode)
+            previous_matched = composed.final_matched
+
+        # Availability chain with the common-case skip: T_cpu[j] is
+        # charged only when segment j+1 actually consumed M[j] (it still
+        # had live enumeration flows, or the FIV killed some).
+        truth_times: list[int] = []
+        tcpu_values: list[int] = []
+        availability = 0
+        for index, result in enumerate(segment_results):
+            successor = (
+                segment_results[index + 1]
+                if index + 1 < len(segment_results)
+                else None
+            )
+            needed = successor is not None and (
+                _live_enumeration_flows(successor) > 0
+                or successor.metrics.fiv_invalidations > 0
+            )
+            tcpu = decode_costs[index] if needed else 0
+            availability = (
+                max(availability, result.metrics.finish_cycles) + tcpu
+            )
+            tcpu_values.append(tcpu)
+            truth_times.append(availability)
+
+        reports = frozenset().union(
+            *(composed.true_reports for composed in composed_segments)
+        ) if composed_segments else frozenset()
+
+        raw_events = sum(r.metrics.raw_events for r in segment_results)
+        enumeration_cycles = (
+            (truth_times[-1] if truth_times else 0)
+            + report_processing_cycles(raw_events)
+        )
+        golden_cycles = len(data) + report_processing_cycles(len(reports))
+
+        return PAPRunResult(
+            reports=reports,
+            plans=plan.segments,
+            segment_results=tuple(segment_results),
+            composed=tuple(composed_segments),
+            partition_choice=plan.partition_choice,
+            truth_times=tuple(truth_times),
+            tcpu_cycles=tuple(tcpu_values),
+            enumeration_cycles=enumeration_cycles,
+            golden_cycles=golden_cycles,
+            svc_overflow=plan.max_planned_flows + 1 > self.config.max_flows,
+            input_bytes=len(data),
+        )

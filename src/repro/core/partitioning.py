@@ -1,0 +1,102 @@
+"""Cutting the input stream into segments.
+
+Boundaries target equal-sized segments but snap to the nearest
+occurrence of the chosen partition symbol so the *actual* last symbol of
+each segment has a small range (Section 3.1).  When no occurrence falls
+inside the snap window the cut happens at the target position anyway —
+correctness never depends on the boundary symbol, only enumeration cost
+does (the next segment simply enumerates the range of whatever symbol
+ends up last).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InputSegment:
+    """One half-open slice ``data[start:end]`` of the input."""
+
+    index: int
+    start: int
+    end: int
+    boundary_symbol: int | None
+    """The symbol at ``start - 1`` (None for the first segment): the
+    symbol whose range bounds this segment's start states."""
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def partition_input(
+    data: bytes,
+    num_segments: int,
+    *,
+    symbol: int | None = None,
+    snap_window: int | None = None,
+) -> list[InputSegment]:
+    """Split ``data`` into up to ``num_segments`` segments.
+
+    Cuts snap to the closest occurrence of ``symbol`` within
+    ``snap_window`` bytes of each equal-size target (default window:
+    half a segment).  Degenerate inputs yield fewer segments; an empty
+    input yields none.
+    """
+    if num_segments < 1:
+        raise ConfigurationError("need at least one segment")
+    if not data:
+        return []
+    num_segments = min(num_segments, len(data))
+    target_length = len(data) / num_segments
+    if snap_window is None:
+        snap_window = max(1, int(target_length // 2))
+
+    boundaries: list[int] = [0]
+    for index in range(1, num_segments):
+        target = round(index * target_length)
+        cut = _snap(data, target, symbol, snap_window, boundaries[-1])
+        if cut is None or cut <= boundaries[-1] or cut >= len(data):
+            continue
+        boundaries.append(cut)
+    boundaries.append(len(data))
+
+    segments = []
+    for index in range(len(boundaries) - 1):
+        start, end = boundaries[index], boundaries[index + 1]
+        segments.append(
+            InputSegment(
+                index=index,
+                start=start,
+                end=end,
+                boundary_symbol=data[start - 1] if start else None,
+            )
+        )
+    return segments
+
+
+def _snap(
+    data: bytes,
+    target: int,
+    symbol: int | None,
+    window: int,
+    floor: int,
+) -> int | None:
+    """The cut position nearest ``target``: just after an occurrence of
+    ``symbol`` when one lies within the window, else ``target``."""
+    if symbol is None:
+        return target
+    lo = max(floor, target - window)
+    hi = min(len(data) - 1, target + window)
+    best: int | None = None
+    best_distance = window + 1
+    for position in range(lo, hi):
+        if data[position] == symbol:
+            distance = abs(position + 1 - target)
+            if distance < best_distance:
+                best = position + 1  # cut *after* the symbol
+                best_distance = distance
+    return best if best is not None else target

@@ -1,0 +1,136 @@
+"""Range-guided input partitioning: profiling and symbol choice.
+
+Section 3.1: the *range* of a symbol bounds the possible start states of
+the following segment, so inputs are cut at frequently occurring symbols
+with small ranges.  The partition symbol is chosen by offline profiling:
+among symbols frequent enough to cut the input into roughly equal
+segments, pick the one with the smallest enumeration range (always-active
+states do not count — the ASG flow covers them for free).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RangeProfile:
+    """Per-symbol range sizes of one automaton (Figure 3's data)."""
+
+    total_states: int
+    sizes: tuple[int, ...]
+
+    @property
+    def minimum(self) -> int:
+        return min(self.sizes)
+
+    @property
+    def maximum(self) -> int:
+        return max(self.sizes)
+
+    @property
+    def average(self) -> float:
+        return float(np.mean(self.sizes))
+
+
+def range_profile(analysis: AutomatonAnalysis) -> RangeProfile:
+    """Range sizes over all 256 symbols (Figure 3)."""
+    return RangeProfile(
+        total_states=len(analysis.automaton),
+        sizes=tuple(int(n) for n in analysis.range_sizes()),
+    )
+
+
+def enumeration_range(
+    analysis: AutomatonAnalysis,
+    symbol: int,
+    *,
+    exclude: frozenset[int] = frozenset(),
+    boundary_at_offset_zero: bool = False,
+) -> frozenset[int]:
+    """States enumerable as segment-boundary matches of ``symbol``.
+
+    The raw range, minus states with no predecessors that are not
+    all-input starts (a start-of-data state without predecessors cannot
+    be matched at any offset past zero), minus ``exclude`` (the
+    path-independent group when the ASG optimization is on).
+
+    ``boundary_at_offset_zero`` covers the degenerate one-byte first
+    segment: at input offset 0 every start-of-data state is enabled, so
+    parentless start-of-data states are matchable there and must stay
+    enumerable.
+    """
+    automaton = analysis.automaton
+    candidates = analysis.symbol_range(symbol)
+    all_input = frozenset(automaton.all_input_states())
+    start_of_data = frozenset(automaton.start_of_data_states())
+    result = set()
+    for sid in candidates:
+        if sid in exclude:
+            continue
+        if not automaton.predecessors(sid):
+            persistently = sid in all_input
+            at_zero = boundary_at_offset_zero and sid in start_of_data
+            if not (persistently or at_zero):
+                continue
+        result.add(sid)
+    return frozenset(result)
+
+
+@dataclass(frozen=True)
+class PartitionSymbolChoice:
+    """Outcome of offline profiling."""
+
+    symbol: int
+    range_size: int
+    occurrences: int
+
+
+def choose_partition_symbol(
+    analysis: AutomatonAnalysis,
+    data: bytes,
+    *,
+    num_segments: int,
+    exclude: frozenset[int] = frozenset(),
+) -> PartitionSymbolChoice:
+    """Pick the partition symbol for ``data``.
+
+    A symbol is eligible when it occurs at least ``num_segments - 1``
+    times (one cut per boundary).  Among eligible symbols the smallest
+    enumeration range wins; occurrence count breaks ties (more frequent
+    means boundaries can sit closer to the equal-size targets).
+    """
+    if num_segments < 1:
+        raise ConfigurationError("need at least one segment")
+    if not data:
+        raise ConfigurationError("cannot profile an empty input")
+    counts = Counter(data)
+    needed = max(1, num_segments - 1)
+    best: PartitionSymbolChoice | None = None
+    for symbol, occurrences in counts.items():
+        if occurrences < needed:
+            continue
+        size = len(enumeration_range(analysis, symbol, exclude=exclude))
+        if (
+            best is None
+            or size < best.range_size
+            or (size == best.range_size and occurrences > best.occurrences)
+        ):
+            best = PartitionSymbolChoice(
+                symbol=symbol, range_size=size, occurrences=occurrences
+            )
+    if best is None:
+        # No symbol occurs often enough; fall back to the most frequent.
+        symbol, occurrences = counts.most_common(1)[0]
+        best = PartitionSymbolChoice(
+            symbol=symbol,
+            range_size=len(enumeration_range(analysis, symbol, exclude=exclude)),
+            occurrences=occurrences,
+        )
+    return best

@@ -1,0 +1,311 @@
+"""Speculative segment execution (the paper's future-work direction).
+
+Sections 6 and 7 point at *speculation* — guessing each segment's start
+state instead of enumerating every candidate (Zhao & Shen's principled
+speculation, MicroSpec) — as "a promising direction for reducing the
+number of active flows".  This module implements that extension on the
+same substrate:
+
+* every segment runs **one** flow seeded with a *predicted* matched set
+  (plus the always-true ASG flow);
+* when the previous segment's true boundary set ``M`` becomes
+  available, the prediction is validated; a mispredicted segment is
+  re-executed from the correct seed, serializing on the truth chain —
+  the classic speculation trade-off;
+* results are exact: only validated (or re-executed) segment results
+  are composed.
+
+Two predictors are provided:
+
+``cold``
+    Predict that nothing beyond the path-independent states was active
+    at the boundary (``M ∩ non-PI = ∅``).  Ideal for automata whose
+    boundary symbols rarely keep pattern progress alive (the
+    ExactMatch/Ranges class); hopeless for saturated automata.
+``profile``
+    Predict the most frequent boundary set observed while profiling a
+    training prefix of the input offline — the hot-state idea of
+    Luchaup et al.'s speculative matching.
+``warmup``
+    Re-execute a short history window (``warmup_symbols`` bytes before
+    the segment) from a cold seed and predict its final state — most
+    NFAs forget their history quickly, so a modest window usually
+    reaches the true boundary set.  This is Luchaup et al.'s
+    history-based speculation; the window trades prediction accuracy
+    against the redundant warm-up work (charged to the segment).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.execution import (
+    CompiledAutomaton,
+    FlowExecution,
+    Report,
+)
+from repro.ap.placement import place_automaton, segments_available
+from repro.core.config import DEFAULT_CONFIG, PAPConfig
+from repro.core.partitioning import InputSegment, partition_input
+from repro.core.ranges import choose_partition_symbol
+from repro.host.decode import false_path_decode_cycles
+from repro.host.reporting import report_processing_cycles
+
+
+class Predictor(Protocol):
+    """Maps a segment boundary to a predicted matched set."""
+
+    def __call__(self, segment: InputSegment) -> frozenset[int]: ...
+
+
+@dataclass(frozen=True)
+class SegmentSpeculation:
+    """Outcome of one segment under speculation."""
+
+    segment: InputSegment
+    predicted: frozenset[int]
+    actual: frozenset[int]
+    correct: bool
+    first_run_cycles: int
+    rerun_cycles: int
+
+
+@dataclass(frozen=True)
+class SpeculativeRunResult:
+    """Outcome of a speculative parallel run."""
+
+    reports: frozenset[Report]
+    segments: tuple[SegmentSpeculation, ...]
+    total_cycles: int
+    golden_cycles: int
+
+    @property
+    def mispredictions(self) -> int:
+        return sum(1 for s in self.segments if not s.correct)
+
+    @property
+    def prediction_accuracy(self) -> float:
+        later = [s for s in self.segments if s.segment.index > 0]
+        if not later:
+            return 1.0
+        return sum(1 for s in later if s.correct) / len(later)
+
+
+class SpeculativeAutomataProcessor:
+    """Parallel NFA execution by speculation instead of enumeration.
+
+    The interface mirrors :class:`~repro.core.pap.ParallelAutomataProcessor`;
+    ``predictor`` is ``"cold"``, ``"profile"``, or any callable mapping
+    an :class:`InputSegment` to a predicted matched set of non-PI
+    states.
+    """
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        *,
+        config: PAPConfig = DEFAULT_CONFIG,
+        half_cores: int | None = None,
+        predictor: str | Predictor = "cold",
+        warmup_symbols: int = 64,
+    ) -> None:
+        automaton.validate()
+        self.automaton = automaton
+        self.config = config
+        self.analysis = AutomatonAnalysis(automaton)
+        self.compiled = CompiledAutomaton(automaton)
+        if half_cores is None:
+            half_cores = place_automaton(
+                automaton, analysis=self.analysis
+            ).half_cores
+        self.half_cores = half_cores
+        self.path_independent = self.analysis.path_independent_states(0)
+        self._predictor_spec = predictor
+        if warmup_symbols < 1:
+            raise ValueError("warmup window must be at least 1 symbol")
+        self.warmup_symbols = warmup_symbols
+
+    @property
+    def num_segments(self) -> int:
+        return max(
+            1, segments_available(self.config.geometry, self.half_cores)
+        )
+
+    # -- predictors -------------------------------------------------------
+
+    def _make_predictor(self, data: bytes) -> Predictor:
+        if callable(self._predictor_spec):
+            return self._predictor_spec
+        if self._predictor_spec == "cold":
+            return lambda segment: frozenset()
+        if self._predictor_spec == "profile":
+            return self._profile_predictor(data)
+        if self._predictor_spec == "warmup":
+            return self._warmup_predictor(data)
+        raise ValueError(f"unknown predictor {self._predictor_spec!r}")
+
+    def _warmup_predictor(self, data: bytes) -> Predictor:
+        """History-based speculation: replay a window before the
+        segment from a cold seed and take its ending matched set."""
+        window = self.warmup_symbols
+
+        def predict(segment: InputSegment) -> frozenset[int]:
+            start = max(0, segment.start - window)
+            flow = FlowExecution(
+                self.compiled,
+                persistent=self.path_independent,
+                one_shot=frozenset(),
+            )
+            flow.run(data[start : segment.start], start)
+            return frozenset(flow.state_vector() - self.path_independent)
+
+        return predict
+
+    def _profile_predictor(self, data: bytes) -> Predictor:
+        """Offline profiling: run a training prefix, record the non-PI
+        matched set after each occurrence of each symbol, and predict
+        the modal set per boundary symbol."""
+        prefix = data[: max(1, len(data) // max(4, self.num_segments))]
+        flow = FlowExecution(self.compiled)
+        observed: dict[int, Counter] = {}
+        for index, symbol in enumerate(prefix):
+            flow.step(symbol, index)
+            non_pi = frozenset(
+                flow.state_vector() - self.path_independent
+            )
+            observed.setdefault(symbol, Counter())[non_pi] += 1
+        modal: dict[int, frozenset[int]] = {
+            symbol: counts.most_common(1)[0][0]
+            for symbol, counts in observed.items()
+        }
+
+        def predict(segment: InputSegment) -> frozenset[int]:
+            if segment.boundary_symbol is None:
+                return frozenset()
+            return modal.get(segment.boundary_symbol, frozenset())
+
+        return predict
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, data: bytes) -> SpeculativeRunResult:
+        if not data:
+            return SpeculativeRunResult(
+                reports=frozenset(),
+                segments=(),
+                total_cycles=0,
+                golden_cycles=0,
+            )
+        timing = self.config.timing
+        choice = choose_partition_symbol(
+            self.analysis,
+            data,
+            num_segments=self.num_segments,
+            exclude=self.path_independent,
+        )
+        segments = partition_input(
+            data, self.num_segments, symbol=choice.symbol
+        )
+        predictor = self._make_predictor(data)
+
+        # Phase 1: run every segment on its predicted seed, in parallel.
+        first_runs: list[FlowExecution] = []
+        predictions: list[frozenset[int]] = []
+        for segment in segments:
+            if segment.index == 0:
+                flow = FlowExecution(self.compiled)
+                predictions.append(frozenset())
+            else:
+                predicted = frozenset(
+                    predictor(segment) - self.path_independent
+                )
+                predictions.append(predicted)
+                flow = FlowExecution(
+                    self.compiled,
+                    initial_current=predicted | self._asg_seed(segment),
+                    persistent=self.path_independent,
+                    one_shot=frozenset(),
+                )
+            flow.run(data[segment.start : segment.end], segment.start)
+            first_runs.append(flow)
+
+        # Phase 2: validate along the truth chain; re-execute on misses.
+        outcomes: list[SegmentSpeculation] = []
+        reports: set[Report] = set()
+        previous_matched: frozenset[int] = frozenset()
+        truth_time = 0
+        raw_events = 0
+        warmup_cost = (
+            self.warmup_symbols if self._predictor_spec == "warmup" else 0
+        )
+        for segment, flow, predicted in zip(segments, first_runs, predictions):
+            first_cycles = segment.length + (
+                warmup_cost if segment.index > 0 else 0
+            )
+            raw_events += len(flow.reports)
+            if segment.index == 0:
+                actual = frozenset()
+                correct = True
+                final = flow
+                rerun_cycles = 0
+                truth_time = first_cycles
+            else:
+                actual = previous_matched - self.path_independent
+                correct = predicted == actual
+                if correct:
+                    final = flow
+                    rerun_cycles = 0
+                    truth_time = max(truth_time, first_cycles)
+                else:
+                    final = FlowExecution(
+                        self.compiled,
+                        initial_current=actual | self._asg_seed(segment),
+                        persistent=self.path_independent,
+                        one_shot=frozenset(),
+                    )
+                    final.run(
+                        data[segment.start : segment.end], segment.start
+                    )
+                    rerun_cycles = segment.length
+                    raw_events += len(final.reports)
+                    # The re-run starts only once truth arrived and
+                    # serializes this segment on the chain.
+                    truth_time = (
+                        max(truth_time, first_cycles) + rerun_cycles
+                    )
+            truth_time += false_path_decode_cycles(1, timing=timing)
+            reports.update(final.reports)
+            previous_matched = final.state_vector()
+            outcomes.append(
+                SegmentSpeculation(
+                    segment=segment,
+                    predicted=predicted,
+                    actual=actual,
+                    correct=correct,
+                    first_run_cycles=first_cycles,
+                    rerun_cycles=rerun_cycles,
+                )
+            )
+
+        total = truth_time + report_processing_cycles(raw_events)
+        golden = len(data) + report_processing_cycles(len(reports))
+        return SpeculativeRunResult(
+            reports=frozenset(reports),
+            segments=tuple(outcomes),
+            total_cycles=min(total, golden),
+            golden_cycles=golden,
+        )
+
+    def _asg_seed(self, segment: InputSegment) -> frozenset[int]:
+        boundary = segment.boundary_symbol
+        if boundary is None:
+            return frozenset()
+        return frozenset(
+            sid
+            for sid in self.path_independent
+            if boundary in self.automaton.state(sid).label
+        )

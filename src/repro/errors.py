@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the broad failure families below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class AutomatonError(ReproError):
+    """A malformed automaton: dangling edges, bad labels, invalid ids."""
+
+
+class RegexSyntaxError(ReproError):
+    """The regex parser rejected the pattern.
+
+    Attributes
+    ----------
+    pattern:
+        The offending pattern text.
+    position:
+        0-based index into ``pattern`` where parsing failed.
+    """
+
+    def __init__(self, message: str, pattern: str, position: int) -> None:
+        super().__init__(f"{message} (pattern={pattern!r}, position={position})")
+        self.pattern = pattern
+        self.position = position
+
+
+class CapacityError(ReproError):
+    """An automaton or flow set exceeds the modeled AP hardware capacity."""
+
+
+class PlacementError(ReproError):
+    """An automaton could not be placed onto the available half-cores."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration values."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure of the functional automata executor."""
+
+
+class CompositionError(ReproError):
+    """Segment results could not be composed into a final answer."""

@@ -1,0 +1,18 @@
+"""Host CPU model: report draining, false-path decoding, flow table."""
+
+from repro.host.decode import (
+    DECODE_BASE_CYCLES,
+    DECODE_CYCLES_PER_FLOW,
+    FlowTable,
+    false_path_decode_cycles,
+)
+from repro.host.reporting import EVENTS_PER_CYCLE, report_processing_cycles
+
+__all__ = [
+    "EVENTS_PER_CYCLE",
+    "DECODE_BASE_CYCLES",
+    "DECODE_CYCLES_PER_FLOW",
+    "FlowTable",
+    "false_path_decode_cycles",
+    "report_processing_cycles",
+]

@@ -1,0 +1,34 @@
+"""Host-side output report processing cost model.
+
+The host drains the AP's output event buffer, decodes each entry (report
+code + byte offset, plus the flow id under PAP), filters false-positive
+events from false enumeration paths, and surfaces matches to the user
+(Sections 2.1 and 3.4).  The paper charges this in *both* the baseline
+and PAP and finds it around 1% of execution time because reporting is
+infrequent.
+
+Event entries are 8 bytes (report code + byte offset + flow id) and the
+host drains them in DDR bursts: at DDR3 rates against the 7.5 ns symbol
+clock, several entries arrive per symbol cycle, and per-entry decoding
+is a handful of >=3 GHz host instructions (well under one symbol
+cycle).  The model charges one symbol cycle per burst of
+``EVENTS_PER_CYCLE`` events, which reproduces the paper's observation
+that output reporting costs ~1% of execution even for chatty workloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+EVENTS_PER_CYCLE = 8
+
+
+def report_processing_cycles(
+    num_events: int, *, events_per_cycle: int = EVENTS_PER_CYCLE
+) -> int:
+    """Symbol cycles the host spends draining ``num_events`` events."""
+    if num_events < 0:
+        raise ValueError("event count cannot be negative")
+    if events_per_cycle < 1:
+        raise ValueError("events per cycle must be at least 1")
+    return math.ceil(num_events / events_per_cycle)

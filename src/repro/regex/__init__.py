@@ -1,0 +1,36 @@
+"""Regex front-end: parser, Glushkov compiler, and rulesets."""
+
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Literal,
+    Node,
+    Optional,
+    Plus,
+    Repeat,
+    Star,
+    expand_repeats,
+)
+from repro.regex.compiler import compile_ast, compile_pattern
+from repro.regex.parser import ParsedPattern, parse
+from repro.regex.ruleset import RulesetStats, compile_ruleset
+
+__all__ = [
+    "Alt",
+    "Concat",
+    "Empty",
+    "Literal",
+    "Node",
+    "Optional",
+    "ParsedPattern",
+    "Plus",
+    "Repeat",
+    "RulesetStats",
+    "Star",
+    "compile_ast",
+    "compile_pattern",
+    "compile_ruleset",
+    "expand_repeats",
+    "parse",
+]

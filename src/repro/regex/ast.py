@@ -1,0 +1,118 @@
+"""Regex abstract syntax tree.
+
+A deliberately small, immutable node set; bounded repetition is expanded
+structurally by the compiler (the AP realizes ``{m,n}`` by replicating
+STEs, and counters — which we model in :mod:`repro.ap` — are not needed
+for the paper's benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.charclass import CharClass
+
+
+class Node:
+    """Base class of regex AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """One symbol position matching a character class."""
+
+    klass: CharClass
+
+    def __repr__(self) -> str:
+        return f"Literal({self.klass.spec()})"
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """Sequential composition ``left right``."""
+
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Alt(Node):
+    """Alternation ``left | right``."""
+
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """Kleene closure ``inner*``."""
+
+    inner: Node
+
+
+@dataclass(frozen=True)
+class Plus(Node):
+    """One-or-more ``inner+``."""
+
+    inner: Node
+
+
+@dataclass(frozen=True)
+class Optional(Node):
+    """Zero-or-one ``inner?``."""
+
+    inner: Node
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """Bounded repetition ``inner{low,high}``.
+
+    ``high`` of ``None`` means unbounded (``{low,}``).
+    """
+
+    inner: Node
+    low: int
+    high: int | None
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """The empty string (epsilon)."""
+
+
+def expand_repeats(node: Node) -> Node:
+    """Rewrite :class:`Repeat` into concatenations/options/stars.
+
+    ``r{2,4}`` becomes ``r r r? r?``; ``r{2,}`` becomes ``r r r*``.
+    The expansion is how the AP compiler itself unrolls bounded
+    repetitions into STE chains.
+    """
+    if isinstance(node, Literal) or isinstance(node, Empty):
+        return node
+    if isinstance(node, Concat):
+        return Concat(expand_repeats(node.left), expand_repeats(node.right))
+    if isinstance(node, Alt):
+        return Alt(expand_repeats(node.left), expand_repeats(node.right))
+    if isinstance(node, Star):
+        return Star(expand_repeats(node.inner))
+    if isinstance(node, Plus):
+        return Plus(expand_repeats(node.inner))
+    if isinstance(node, Optional):
+        return Optional(expand_repeats(node.inner))
+    if isinstance(node, Repeat):
+        inner = expand_repeats(node.inner)
+        parts: list[Node] = [inner] * node.low
+        if node.high is None:
+            parts.append(Star(inner))
+        else:
+            parts.extend(Optional(inner) for _ in range(node.high - node.low))
+        if not parts:
+            return Empty()
+        result = parts[0]
+        for part in parts[1:]:
+            result = Concat(result, part)
+        return result
+    raise TypeError(f"unknown AST node: {node!r}")

@@ -1,0 +1,151 @@
+"""Glushkov compilation: regex AST -> homogeneous automaton.
+
+The Glushkov construction is the natural compiler for the AP: every
+*position* (symbol occurrence) of the regex becomes one STE labeled with
+that position's character class, and the follow relation becomes the
+unlabeled edge set — no epsilon states, homogeneous by construction.
+This mirrors how Micron's ANML toolchain realizes regexes in hardware.
+
+Unanchored patterns are compiled as ``.*R``: the leading ``.*`` becomes
+a full-label, self-looping start-of-data state — precisely the
+always-active hub the paper's Active State Group optimization targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Literal,
+    Node,
+    Optional,
+    Plus,
+    Repeat,
+    Star,
+    expand_repeats,
+)
+from repro.regex.parser import ParsedPattern, parse
+
+
+@dataclass
+class _Glushkov:
+    """Position bookkeeping for one compilation."""
+
+    labels: list[CharClass] = field(default_factory=list)
+    follow: list[set[int]] = field(default_factory=list)
+
+    def position(self, klass: CharClass) -> int:
+        pid = len(self.labels)
+        self.labels.append(klass)
+        self.follow.append(set())
+        return pid
+
+    def analyze(self, node: Node) -> tuple[bool, list[int], list[int]]:
+        """Returns (nullable, first, last), populating follow edges."""
+        if isinstance(node, Empty):
+            return True, [], []
+        if isinstance(node, Literal):
+            pid = self.position(node.klass)
+            return False, [pid], [pid]
+        if isinstance(node, Concat):
+            left_null, left_first, left_last = self.analyze(node.left)
+            right_null, right_first, right_last = self.analyze(node.right)
+            for pid in left_last:
+                self.follow[pid].update(right_first)
+            first = left_first + (right_first if left_null else [])
+            last = right_last + (left_last if right_null else [])
+            return left_null and right_null, first, last
+        if isinstance(node, Alt):
+            left_null, left_first, left_last = self.analyze(node.left)
+            right_null, right_first, right_last = self.analyze(node.right)
+            return (
+                left_null or right_null,
+                left_first + right_first,
+                left_last + right_last,
+            )
+        if isinstance(node, (Star, Plus)):
+            nullable, first, last = self.analyze(node.inner)
+            for pid in last:
+                self.follow[pid].update(first)
+            return isinstance(node, Star) or nullable, first, last
+        if isinstance(node, Optional):
+            _, first, last = self.analyze(node.inner)
+            return True, first, last
+        if isinstance(node, Repeat):
+            raise AssertionError("Repeat must be expanded before analysis")
+        raise TypeError(f"unknown AST node: {node!r}")
+
+
+def compile_ast(
+    ast: Node,
+    *,
+    anchored: bool,
+    automaton: Automaton | None = None,
+    report_code: int = 0,
+    source: str = "",
+) -> Automaton:
+    """Compile one AST into (or onto) a homogeneous automaton.
+
+    Passing an existing ``automaton`` appends this pattern's states to
+    it, which is how rulesets share one machine.
+    """
+    expanded = expand_repeats(ast)
+    glushkov = _Glushkov()
+    nullable, first, last = glushkov.analyze(expanded)
+    if nullable:
+        raise RegexSyntaxError(
+            "pattern matches the empty string; occurrence reporting is "
+            "undefined for it",
+            source,
+            0,
+        )
+
+    target = automaton if automaton is not None else Automaton(name="regex")
+    base = target.num_states
+    hub: int | None = None
+    if not anchored:
+        hub = target.add_state(
+            CharClass.full(), start=StartKind.START_OF_DATA, name=".*"
+        )
+        target.add_edge(hub, hub)
+
+    first_set = set(first)
+    last_set = set(last)
+    for pid, label in enumerate(glushkov.labels):
+        target.add_state(
+            label,
+            start=(
+                StartKind.START_OF_DATA if pid in first_set else StartKind.NONE
+            ),
+            reporting=pid in last_set,
+            report_code=report_code if pid in last_set else None,
+        )
+    offset = base + (1 if hub is not None else 0)
+    for pid, follows in enumerate(glushkov.follow):
+        target.add_edges(offset + pid, [offset + f for f in follows])
+    if hub is not None:
+        target.add_edges(hub, [offset + pid for pid in first_set])
+    return target
+
+
+def compile_pattern(
+    pattern: str | ParsedPattern,
+    *,
+    automaton: Automaton | None = None,
+    report_code: int = 0,
+) -> Automaton:
+    """Parse (if needed) and compile one pattern."""
+    parsed = parse(pattern) if isinstance(pattern, str) else pattern
+    return compile_ast(
+        parsed.ast,
+        anchored=parsed.anchored,
+        automaton=automaton,
+        report_code=report_code,
+        source=parsed.source,
+    )

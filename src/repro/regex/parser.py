@@ -1,0 +1,266 @@
+"""Recursive-descent regex parser.
+
+Supported syntax (the subset used by the Regex and ANMLZoo rulesets):
+
+* literals and escapes: ``\\n \\r \\t \\0 \\xHH \\\\ \\. \\* ...``
+* predefined classes: ``\\d \\D \\w \\W \\s \\S``
+* the wildcard ``.`` (all 256 symbols, as on the AP)
+* character classes ``[abc]``, ranges ``[a-z0-9]``, negation ``[^...]``
+* grouping ``( ... )`` (non-capturing; capture semantics are irrelevant
+  to automata matching)
+* alternation ``|``
+* quantifiers ``* + ?`` and bounded ``{m} {m,} {m,n}``
+* the anchor ``^`` as the first character; patterns without it are
+  unanchored (implicit leading ``.*``), following Becchi's tooling
+
+A parsed pattern is returned as :class:`ParsedPattern` carrying the AST
+and the anchor flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.charclass import CharClass
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    Alt,
+    Concat,
+    Empty,
+    Literal,
+    Node,
+    Optional,
+    Plus,
+    Repeat,
+    Star,
+)
+
+_DIGITS = CharClass.range("0", "9")
+_WORD = (
+    CharClass.range("a", "z")
+    | CharClass.range("A", "Z")
+    | _DIGITS
+    | CharClass.single("_")
+)
+_SPACE = CharClass(" \t\n\r\x0b\x0c")
+
+_PREDEFINED = {
+    "d": _DIGITS,
+    "D": _DIGITS.complement(),
+    "w": _WORD,
+    "W": _WORD.complement(),
+    "s": _SPACE,
+    "S": _SPACE.complement(),
+}
+
+_SIMPLE_ESCAPES = {
+    "n": ord("\n"),
+    "r": ord("\r"),
+    "t": ord("\t"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "0": 0,
+    "a": 7,
+}
+
+_SPECIAL = set("()[]{}|*+?.^$\\")
+
+
+@dataclass(frozen=True)
+class ParsedPattern:
+    """A parsed regex: its AST and whether it was ``^``-anchored."""
+
+    ast: Node
+    anchored: bool
+    source: str
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- utilities ---------------------------------------------------------
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        char = self.peek()
+        if char is None:
+            raise self.error("unexpected end of pattern")
+        self.pos += 1
+        return char
+
+    def eat(self, expected: str) -> None:
+        if self.peek() != expected:
+            raise self.error(f"expected {expected!r}")
+        self.pos += 1
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> ParsedPattern:
+        anchored = False
+        if self.peek() == "^":
+            anchored = True
+            self.pos += 1
+        ast = self.alternation()
+        if self.pos != len(self.pattern):
+            raise self.error("unbalanced ')' or trailing input")
+        return ParsedPattern(ast=ast, anchored=anchored, source=self.pattern)
+
+    def alternation(self) -> Node:
+        branches = [self.concatenation()]
+        while self.peek() == "|":
+            self.pos += 1
+            branches.append(self.concatenation())
+        node = branches[0]
+        for branch in branches[1:]:
+            node = Alt(node, branch)
+        return node
+
+    def concatenation(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            char = self.peek()
+            if char is None or char in "|)":
+                break
+            parts.append(self.quantified())
+        if not parts:
+            return Empty()
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def quantified(self) -> Node:
+        atom = self.atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.pos += 1
+                atom = Star(atom)
+            elif char == "+":
+                self.pos += 1
+                atom = Plus(atom)
+            elif char == "?":
+                self.pos += 1
+                atom = Optional(atom)
+            elif char == "{":
+                atom = self.bounded(atom)
+            else:
+                return atom
+
+    def bounded(self, atom: Node) -> Node:
+        self.eat("{")
+        low = self.number()
+        high: int | None
+        if self.peek() == ",":
+            self.pos += 1
+            if self.peek() == "}":
+                high = None
+            else:
+                high = self.number()
+        else:
+            high = low
+        self.eat("}")
+        if high is not None and high < low:
+            raise self.error(f"bad repetition bounds {{{low},{high}}}")
+        return Repeat(atom, low, high)
+
+    def number(self) -> int:
+        digits = ""
+        while (char := self.peek()) is not None and char.isdigit():
+            digits += self.take()
+        if not digits:
+            raise self.error("expected a number")
+        return int(digits)
+
+    def atom(self) -> Node:
+        char = self.peek()
+        if char == "(":
+            self.pos += 1
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2
+            inner = self.alternation()
+            self.eat(")")
+            return inner
+        if char == "[":
+            return Literal(self.char_class())
+        if char == ".":
+            self.pos += 1
+            return Literal(CharClass.full())
+        if char == "\\":
+            return Literal(self.escape())
+        if char == "$":
+            raise self.error("the '$' anchor is not supported")
+        if char in "*+?{":
+            raise self.error("quantifier with nothing to repeat")
+        return Literal(CharClass.single(self.take()))
+
+    def escape(self) -> CharClass:
+        self.eat("\\")
+        char = self.take()
+        if char in _PREDEFINED:
+            return _PREDEFINED[char]
+        if char in _SIMPLE_ESCAPES:
+            return CharClass([_SIMPLE_ESCAPES[char]])
+        if char == "x":
+            digits = self.take() + self.take()
+            try:
+                return CharClass([int(digits, 16)])
+            except ValueError:
+                raise self.error(f"bad hex escape \\x{digits}") from None
+        if char in _SPECIAL or not char.isalnum():
+            return CharClass.single(char)
+        raise self.error(f"unknown escape \\{char}")
+
+    def char_class(self) -> CharClass:
+        self.eat("[")
+        negated = False
+        if self.peek() == "^":
+            negated = True
+            self.pos += 1
+        klass = CharClass.empty()
+        first = True
+        while True:
+            char = self.peek()
+            if char is None:
+                raise self.error("unterminated character class")
+            if char == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            low = self.class_atom()
+            if (
+                self.peek() == "-"
+                and self.pos + 1 < len(self.pattern)
+                and self.pattern[self.pos + 1] != "]"
+            ):
+                self.pos += 1
+                high = self.class_atom()
+                if len(low) != 1 or len(high) != 1:
+                    raise self.error("class range endpoints must be single chars")
+                klass = klass | CharClass.range(low.sample(), high.sample())
+            else:
+                klass = klass | low
+        if negated:
+            klass = klass.complement()
+        if not klass:
+            raise self.error("empty character class")
+        return klass
+
+    def class_atom(self) -> CharClass:
+        if self.peek() == "\\":
+            return self.escape()
+        return CharClass.single(self.take())
+
+
+def parse(pattern: str) -> ParsedPattern:
+    """Parse ``pattern`` into a :class:`ParsedPattern`."""
+    return _Parser(pattern).parse()

@@ -1,0 +1,41 @@
+"""Experiment harness: end-to-end runs, figure formatting, sweeps."""
+
+from repro.sim.report import (
+    format_figure3,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_figure11,
+    format_figure12,
+    format_sensitivity,
+    format_table1,
+)
+from repro.sim.plots import bar_chart, grouped_bar_chart, histogram
+from repro.sim.runner import BenchmarkRun, geometric_mean, run_benchmark
+from repro.sim.sweep import (
+    ABLATION_TOGGLES,
+    ablation_sweep,
+    context_switch_sweep,
+    tdm_slice_sweep,
+)
+
+__all__ = [
+    "ABLATION_TOGGLES",
+    "BenchmarkRun",
+    "ablation_sweep",
+    "bar_chart",
+    "context_switch_sweep",
+    "grouped_bar_chart",
+    "histogram",
+    "format_figure10",
+    "format_figure11",
+    "format_figure12",
+    "format_figure3",
+    "format_figure8",
+    "format_figure9",
+    "format_sensitivity",
+    "format_table1",
+    "geometric_mean",
+    "run_benchmark",
+    "tdm_slice_sweep",
+]

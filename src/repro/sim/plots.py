@@ -1,0 +1,119 @@
+"""ASCII chart rendering.
+
+The paper's figures are bar charts; these helpers render the same data
+as fixed-width text bars so results read at a glance in a terminal or a
+results file.  Log-scale support covers Figures 9 and 12, whose y-axes
+are logarithmic in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+DEFAULT_WIDTH = 50
+BAR = "#"
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    *,
+    width: int = DEFAULT_WIDTH,
+    log_scale: bool = False,
+    unit: str = "",
+    reference: float | None = None,
+    reference_label: str = "ideal",
+) -> str:
+    """Render labeled horizontal bars.
+
+    ``reference`` draws a ``|`` marker at a per-chart reference value
+    (e.g. the ideal speedup); values beyond it clip at the marker.
+    """
+    if not rows:
+        return "(no data)"
+    values = [value for _, value in rows]
+    top = reference if reference is not None else max(values)
+    top = max(top, 1e-12)
+
+    def scaled(value: float) -> int:
+        if value <= 0:
+            return 0
+        if log_scale:
+            ceiling = math.log10(top + 1)
+            if ceiling <= 0:
+                return 0
+            return round(width * min(1.0, math.log10(value + 1) / ceiling))
+        return round(width * min(1.0, value / top))
+
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = BAR * scaled(value)
+        marker = ""
+        if reference is not None:
+            pad = " " * max(0, width - len(bar))
+            marker = f"{pad}|"
+        lines.append(
+            f"{label:<{label_width}}  {value:>10.2f}{unit}  {bar}{marker}"
+        )
+    if reference is not None:
+        lines.append(
+            f"{'':<{label_width}}  {'':>10}   "
+            f"{' ' * width}^ {reference_label} = {reference:g}"
+        )
+    if log_scale:
+        lines.append(f"{'':<{label_width}}  (log scale)")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[tuple[str, Sequence[float]]],
+    series_labels: Sequence[str],
+    *,
+    width: int = DEFAULT_WIDTH,
+    log_scale: bool = False,
+) -> str:
+    """Render one bar per (row, series) pair, grouped per row —
+    the shape of the paper's Figure 9 waterfall."""
+    if not rows:
+        return "(no data)"
+    flattened = [
+        (f"{label} [{series_labels[index]}]", value)
+        for label, values in rows
+        for index, value in enumerate(values)
+    ]
+    chunks = []
+    per_group = len(series_labels)
+    for group in range(len(rows)):
+        chunk = flattened[group * per_group : (group + 1) * per_group]
+        chunks.append(
+            bar_chart(chunk, width=width, log_scale=log_scale)
+        )
+    return "\n\n".join(chunks)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """A quick distribution view (e.g. per-segment finish times)."""
+    if not values:
+        return "(no data)"
+    low, high = min(values), max(values)
+    if high == low:
+        return f"{low:g} x{len(values)}  {BAR * width}"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        lo = low + index * span
+        hi = lo + span
+        bar = BAR * round(width * count / peak)
+        lines.append(f"[{lo:>12.1f}, {hi:>12.1f})  {count:>6}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Text renderers for the paper's tables and figures.
+
+Each ``format_*`` function turns measurements into the rows the paper
+reports, printed as fixed-width text tables (this reproduction's
+equivalent of the camera-ready plots).  Benchmarks under
+``benchmarks/`` call these after their measurement loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.ranges import RangeProfile
+from repro.sim.plots import bar_chart
+from repro.sim.runner import BenchmarkRun, geometric_mean
+from repro.workloads.suite import BenchmarkInstance, PaperRow
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    widths = [len(h) for h in header]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table1(
+    rows: list[tuple[BenchmarkInstance, int, int, int]]
+) -> str:
+    """Table 1: benchmark characteristics, generated vs. paper.
+
+    ``rows`` holds (benchmark, generated_states, generated_components,
+    generated_range) tuples.
+    """
+    header = (
+        "Benchmark",
+        "States",
+        "Range",
+        "CCs",
+        "HalfCores",
+        "Seg(1rank)",
+        "Seg(4rank)",
+        "Paper:States",
+        "Paper:Range",
+        "Paper:CCs",
+    )
+    body = []
+    for bench, states, components, symbol_range in rows:
+        paper: PaperRow = bench.paper
+        body.append(
+            (
+                bench.name,
+                states,
+                symbol_range,
+                components,
+                paper.half_cores,
+                paper.segments_one_rank,
+                paper.segments_four_ranks,
+                paper.states,
+                paper.symbol_range,
+                paper.components,
+            )
+        )
+    return _table(header, body)
+
+
+def format_figure3(
+    rows: list[tuple[str, int, RangeProfile]]
+) -> str:
+    """Figure 3: per-benchmark symbol-range distribution vs. states."""
+    header = (
+        "Benchmark",
+        "States",
+        "RangeMin",
+        "RangeAvg",
+        "RangeMax",
+        "Avg/States%",
+    )
+    body = []
+    for name, states, profile in rows:
+        body.append(
+            (
+                name,
+                states,
+                profile.minimum,
+                profile.average,
+                profile.maximum,
+                100.0 * profile.average / max(1, states),
+            )
+        )
+    return _table(header, body)
+
+
+def format_figure8(runs: list[BenchmarkRun], *, label: str) -> str:
+    """Figure 8: PAP speedups vs. ideal, one input-size panel."""
+    header = (
+        "Benchmark",
+        "Ranks",
+        "Speedup",
+        "Ideal",
+        "Efficiency%",
+        "GoldenFallback",
+    )
+    body = [
+        (
+            run.name,
+            run.ranks,
+            run.speedup,
+            run.ideal_speedup,
+            100.0 * run.speedup / max(1, run.ideal_speedup),
+            "yes" if run.pap.golden_fallback else "no",
+        )
+        for run in runs
+    ]
+    table = _table(header, body)
+    by_ranks: dict[int, list[float]] = {}
+    for run in runs:
+        by_ranks.setdefault(run.ranks, []).append(run.speedup)
+    summary = "  ".join(
+        f"geomean({ranks} rank{'s' if ranks > 1 else ''}) = "
+        f"{geometric_mean(values):.1f}x"
+        for ranks, values in sorted(by_ranks.items())
+    )
+    chart = bar_chart(
+        [(run.name, run.speedup) for run in runs],
+        reference=float(max(run.ideal_speedup for run in runs)),
+        unit="x",
+    )
+    return f"== Figure 8 [{label}] ==\n{table}\n{summary}\n\n{chart}"
+
+
+def format_figure9(runs: list[BenchmarkRun]) -> str:
+    """Figure 9: the flow-reduction waterfall (log scale, as in the
+    paper)."""
+    from repro.sim.plots import grouped_bar_chart
+
+    header = (
+        "Benchmark",
+        "FlowsInRange",
+        "AfterCC",
+        "AfterParent",
+        "AvgActive",
+    )
+    body = []
+    for run in runs:
+        stats = [
+            plan.stats for plan in run.pap.plans if not plan.is_golden
+        ]
+        if not stats:
+            body.append((run.name, 0, 0, 0, run.pap.average_active_flows))
+            continue
+        body.append(
+            (
+                run.name,
+                max(s.flows_in_range for s in stats),
+                max(s.flows_after_cc for s in stats),
+                max(s.flows_after_parent for s in stats),
+                run.pap.average_active_flows,
+            )
+        )
+    chart = grouped_bar_chart(
+        [
+            (str(name), [float(a), float(b), float(c), float(d)])
+            for name, a, b, c, d in body
+        ],
+        ["range", "cc", "parent", "active"],
+        log_scale=True,
+    )
+    return "== Figure 9 ==\n" + _table(header, body) + "\n\n" + chart
+
+
+def format_figure10(runs: list[BenchmarkRun]) -> str:
+    """Figure 10: flow-switching overhead (%)."""
+    header = ("Benchmark", "SwitchOverhead%")
+    body = [
+        (run.name, 100.0 * run.pap.switching_overhead) for run in runs
+    ]
+    return "== Figure 10 ==\n" + _table(header, body)
+
+
+def format_figure11(runs: list[BenchmarkRun]) -> str:
+    """Figure 11: false-path invalidation time (AP symbol cycles)."""
+    header = ("Benchmark", "AvgTcpuCycles", "MaxTcpuCycles")
+    body = []
+    for run in runs:
+        charged = [c for c in run.pap.tcpu_cycles if c > 0]
+        body.append(
+            (
+                run.name,
+                sum(charged) / len(charged) if charged else 0,
+                max(charged) if charged else 0,
+            )
+        )
+    return "== Figure 11 ==\n" + _table(header, body)
+
+
+def format_figure12(runs: list[BenchmarkRun]) -> str:
+    """Figure 12: increase in output report events due to false paths
+    (log scale, as in the paper)."""
+    header = ("Benchmark", "RawEvents", "TrueEvents", "Amplification")
+    body = [
+        (
+            run.name,
+            run.pap.raw_events,
+            run.pap.true_events,
+            run.pap.event_amplification,
+        )
+        for run in runs
+    ]
+    chart = bar_chart(
+        [(run.name, run.pap.event_amplification) for run in runs],
+        log_scale=True,
+        unit="x",
+    )
+    return "== Figure 12 ==\n" + _table(header, body) + "\n\n" + chart
+
+
+def format_sensitivity(
+    rows: list[tuple[str, float, float, float]]
+) -> str:
+    """Section 5.3 sensitivity: speedups at 1x/2x/4x switch cost."""
+    header = ("Benchmark", "Speedup(1x)", "Speedup(2x)", "Speedup(4x)")
+    return "== Context-switch sensitivity ==\n" + _table(header, rows)

@@ -1,0 +1,111 @@
+"""End-to-end experiment runner: sequential baseline vs. PAP.
+
+One :func:`run_benchmark` call reproduces one bar of Figure 8 (one
+benchmark, one rank count, one input size) and carries every per-figure
+metric with it: flow-reduction stats (Fig. 9), switching overhead
+(Fig. 10), decode costs (Fig. 11), and event amplification (Fig. 12).
+Report equality against the baseline is checked on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ap.geometry import BoardGeometry
+from repro.ap.sequential import BaselineResult, run_sequential
+from repro.core.config import DEFAULT_CONFIG, PAPConfig
+from repro.core.metrics import PAPRunResult
+from repro.core.pap import ParallelAutomataProcessor
+from repro.errors import ExecutionError
+from repro.workloads.suite import BenchmarkInstance
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """One benchmark x board x input-size measurement."""
+
+    name: str
+    ranks: int
+    trace_bytes: int
+    baseline: BaselineResult
+    pap: PAPRunResult
+    reports_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.pap.total_cycles == 0:
+            return 1.0
+        return self.baseline.total_cycles / self.pap.total_cycles
+
+    @property
+    def ideal_speedup(self) -> int:
+        return self.pap.num_segments
+
+    @property
+    def extra_transitions_per_symbol(self) -> float:
+        """PAP state activations per symbol relative to the baseline's
+        (the Section 5.3 dynamic-energy proxy)."""
+        if self.baseline.transitions == 0:
+            return 1.0
+        return self.pap.transitions / self.baseline.transitions
+
+
+def run_benchmark(
+    benchmark: BenchmarkInstance,
+    *,
+    ranks: int = 1,
+    trace_bytes: int = 65_536,
+    modeled_bytes: int | None = None,
+    trace_seed: int = 1,
+    config: PAPConfig = DEFAULT_CONFIG,
+    verify_reports: bool = True,
+) -> BenchmarkRun:
+    """Run one benchmark end to end and package the measurement.
+
+    ``modeled_bytes`` names the experiment being reproduced (the
+    paper's 1 MB or 10 MB input) when ``trace_bytes`` is a scaled-down
+    stand-in: the per-segment constant costs (state-vector readout,
+    host decode, FIV transfer) are shrunk by the same factor so every
+    speedup ratio matches the full-size experiment — see
+    :meth:`repro.ap.timing.TimingModel.scaled_for_input`.
+    """
+    board = BoardGeometry(ranks=ranks)
+    timing = config.timing
+    if modeled_bytes is not None:
+        timing = timing.scaled_for_input(trace_bytes, modeled_bytes)
+    config = replace(config, geometry=board, timing=timing)
+    data = benchmark.trace(trace_bytes, trace_seed)
+
+    baseline = run_sequential(benchmark.automaton, data, timing=config.timing)
+    pap = ParallelAutomataProcessor(
+        benchmark.automaton,
+        config=config,
+        half_cores=benchmark.half_cores,
+    ).run(data)
+
+    matches = pap.reports == baseline.reports
+    if verify_reports and not matches:
+        missing = len(baseline.reports - pap.reports)
+        extra = len(pap.reports - baseline.reports)
+        raise ExecutionError(
+            f"{benchmark.name}: PAP reports diverged from baseline "
+            f"({missing} missing, {extra} extra)"
+        )
+    return BenchmarkRun(
+        name=benchmark.name,
+        ranks=ranks,
+        trace_bytes=len(data),
+        baseline=baseline,
+        pap=pap,
+        reports_match=matches,
+    )
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geomean as the paper aggregates speedups."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))

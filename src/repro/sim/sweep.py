@@ -1,0 +1,107 @@
+"""Parameter sweeps: sensitivity studies and ablations.
+
+Covers the paper's Section 5.3 context-switch sensitivity (2x and 4x
+switch cost) and the optimization ablations implied by Figure 9 — each
+optimization toggled off in isolation to measure its contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import DEFAULT_CONFIG, PAPConfig
+from repro.sim.runner import BenchmarkRun, run_benchmark
+from repro.workloads.suite import BenchmarkInstance
+
+ABLATION_TOGGLES: tuple[str, ...] = (
+    "use_connected_components",
+    "use_common_parent",
+    "use_asg",
+    "use_convergence",
+    "use_deactivation",
+    "use_fiv",
+)
+
+
+def context_switch_sweep(
+    benchmark: BenchmarkInstance,
+    *,
+    factors: tuple[int, ...] = (1, 2, 4),
+    ranks: int = 1,
+    trace_bytes: int = 65_536,
+    modeled_bytes: int | None = None,
+    config: PAPConfig = DEFAULT_CONFIG,
+) -> dict[int, BenchmarkRun]:
+    """Speedup at each context-switch cost multiplier (Section 5.3)."""
+    results: dict[int, BenchmarkRun] = {}
+    for factor in factors:
+        timed = replace(
+            config,
+            timing=config.timing.with_context_switch_multiplier(factor),
+        )
+        results[factor] = run_benchmark(
+            benchmark,
+            ranks=ranks,
+            trace_bytes=trace_bytes,
+            modeled_bytes=modeled_bytes,
+            config=timed,
+        )
+    return results
+
+
+def ablation_sweep(
+    benchmark: BenchmarkInstance,
+    *,
+    ranks: int = 1,
+    trace_bytes: int = 65_536,
+    modeled_bytes: int | None = None,
+    config: PAPConfig = DEFAULT_CONFIG,
+    toggles: tuple[str, ...] = ABLATION_TOGGLES,
+) -> dict[str, BenchmarkRun]:
+    """Each optimization disabled in isolation, plus the full config.
+
+    Keys: ``"full"`` and ``"no-<toggle>"`` per entry of ``toggles``.
+    """
+    results: dict[str, BenchmarkRun] = {
+        "full": run_benchmark(
+            benchmark,
+            ranks=ranks,
+            trace_bytes=trace_bytes,
+            modeled_bytes=modeled_bytes,
+            config=config,
+        )
+    }
+    for toggle in toggles:
+        ablated = replace(config, **{toggle: False})
+        results[f"no-{toggle.removeprefix('use_')}"] = run_benchmark(
+            benchmark,
+            ranks=ranks,
+            trace_bytes=trace_bytes,
+            modeled_bytes=modeled_bytes,
+            config=ablated,
+        )
+    return results
+
+
+def tdm_slice_sweep(
+    benchmark: BenchmarkInstance,
+    *,
+    slice_sizes: tuple[int, ...] = (64, 128, 256, 512),
+    ranks: int = 1,
+    trace_bytes: int = 65_536,
+    modeled_bytes: int | None = None,
+    config: PAPConfig = DEFAULT_CONFIG,
+) -> dict[int, BenchmarkRun]:
+    """Speedup vs. TDM slice size ``k`` (a design-space knob the paper
+    fixes implicitly; exposed here as an extension study)."""
+    results: dict[int, BenchmarkRun] = {}
+    for size in slice_sizes:
+        sized = replace(config, tdm_slice_symbols=size)
+        results[size] = run_benchmark(
+            benchmark,
+            ranks=ranks,
+            trace_bytes=trace_bytes,
+            modeled_bytes=modeled_bytes,
+            config=sized,
+        )
+    return results

@@ -1,0 +1,55 @@
+"""Evaluation workloads: the 19 Table 1 benchmarks and trace generators."""
+
+from repro.workloads.entityres import entityresolution_benchmark
+from repro.workloads.fermi import fermi_benchmark
+from repro.workloads.hamming import hamming_automaton, hamming_benchmark
+from repro.workloads.levenshtein import (
+    levenshtein_automaton,
+    levenshtein_benchmark,
+)
+from repro.workloads.protomata import protomata_benchmark
+from repro.workloads.randomforest import randomforest_benchmark
+from repro.workloads.regexgen import RegexSuiteParams, generate_ruleset
+from repro.workloads.spm import spm_benchmark
+from repro.workloads.suite import (
+    ANMLZOO_SUITE,
+    BENCHMARK_NAMES,
+    REGEX_SUITE,
+    BenchmarkInstance,
+    PaperRow,
+    build_benchmark,
+    build_suite,
+)
+from repro.workloads.tracegen import (
+    DEFAULT_PM,
+    alphabet_trace,
+    embed_matches,
+    mixed_trace,
+    pm_trace,
+)
+
+__all__ = [
+    "ANMLZOO_SUITE",
+    "BENCHMARK_NAMES",
+    "BenchmarkInstance",
+    "DEFAULT_PM",
+    "PaperRow",
+    "REGEX_SUITE",
+    "RegexSuiteParams",
+    "alphabet_trace",
+    "build_benchmark",
+    "build_suite",
+    "embed_matches",
+    "entityresolution_benchmark",
+    "fermi_benchmark",
+    "generate_ruleset",
+    "hamming_automaton",
+    "hamming_benchmark",
+    "levenshtein_automaton",
+    "levenshtein_benchmark",
+    "mixed_trace",
+    "pm_trace",
+    "protomata_benchmark",
+    "randomforest_benchmark",
+    "spm_benchmark",
+]

@@ -1,0 +1,109 @@
+"""Loading external ANML benchmarks.
+
+ANMLZoo distributes its benchmarks as ANML (XML) machine descriptions
+plus representative input traces.  Given such files, this module wraps
+them as :class:`~repro.workloads.suite.BenchmarkInstance` objects so
+they drop into the same harness as the synthetic suite — the path a
+user with access to the original (unredistributable) benchmark files
+would take to reproduce the paper's exact workloads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.anml_xml import automaton_from_anml_xml
+from repro.ap.placement import place_automaton
+from repro.workloads.suite import BenchmarkInstance, PaperRow
+
+
+def load_anml_benchmark(
+    anml_path: str | Path,
+    trace_path: str | Path | None = None,
+    *,
+    name: str | None = None,
+    half_cores: int | None = None,
+) -> BenchmarkInstance:
+    """Wrap an ANML file (and optional trace file) as a benchmark.
+
+    Without a trace file, the trace factory slices nothing — callers
+    must supply their own inputs; with one, requests longer than the
+    file wrap around (ANMLZoo traces are meant to be streamed
+    repeatedly).
+    """
+    anml_path = Path(anml_path)
+    automaton = automaton_from_anml_xml(anml_path.read_text())
+    if name:
+        automaton.name = name
+
+    analysis = AutomatonAnalysis(automaton)
+    if half_cores is None:
+        half_cores = place_automaton(automaton, analysis=analysis).half_cores
+
+    trace_data = (
+        Path(trace_path).read_bytes() if trace_path is not None else b""
+    )
+
+    def trace(length: int, seed: int) -> bytes:
+        if not trace_data:
+            raise ValueError(
+                f"benchmark {automaton.name!r} was loaded without a trace "
+                "file; pass trace_path or generate inputs explicitly"
+            )
+        start = (seed * 8_191) % len(trace_data)
+        repeated = trace_data[start:] + trace_data * (
+            length // max(1, len(trace_data)) + 1
+        )
+        return repeated[:length]
+
+    return BenchmarkInstance(
+        name=automaton.name,
+        automaton=automaton,
+        trace=trace,
+        paper=PaperRow(
+            states=automaton.num_states,
+            symbol_range=0,  # unknown until profiled
+            components=len(analysis.connected_components()),
+            half_cores=half_cores,
+        ),
+    )
+
+
+def export_benchmark(
+    benchmark: BenchmarkInstance,
+    anml_path: str | Path,
+    *,
+    trace_path: str | Path | None = None,
+    trace_bytes: int = 65_536,
+    trace_seed: int = 1,
+) -> None:
+    """Write a benchmark's automaton (and optionally a trace) to disk
+    in the interchange formats — the inverse of
+    :func:`load_anml_benchmark`."""
+    from repro.automata.anml_xml import automaton_to_anml_xml
+
+    Path(anml_path).write_text(automaton_to_anml_xml(benchmark.automaton))
+    if trace_path is not None:
+        Path(trace_path).write_bytes(
+            benchmark.trace(trace_bytes, trace_seed)
+        )
+
+
+def roundtrip_benchmark(
+    benchmark: BenchmarkInstance, directory: str | Path
+) -> BenchmarkInstance:
+    """Export and re-import a benchmark (integration helper)."""
+    directory = Path(directory)
+    anml_path = directory / f"{benchmark.name}.anml"
+    trace_path = directory / f"{benchmark.name}.input"
+    export_benchmark(
+        benchmark, anml_path, trace_path=trace_path, trace_bytes=16_384
+    )
+    return load_anml_benchmark(
+        anml_path,
+        trace_path,
+        name=benchmark.name,
+        half_cores=benchmark.half_cores,
+    )

@@ -1,0 +1,100 @@
+"""Particle-trajectory automata (the ANMLZoo *Fermi* benchmark).
+
+Fermi predicts high-energy particle paths by matching detector hit
+streams against known trajectories (Wang et al., NIM-A 2016).  Each
+trajectory is a chain of *hit windows*: a coordinate tolerance per
+detector layer, i.e. a wide numeric character class.  Because nearly
+every state's class covers a large slice of the coordinate alphabet,
+nearly every symbol reaches most states — Table 1 reports a 30,027
+range over 40,783 states, the largest relative range in the suite, and
+correspondingly the worst PAP speedup: enumeration flows rarely die.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.builder import merge_all
+from repro.automata.charclass import CharClass
+
+COORDINATE_LOW = 0x30
+COORDINATE_HIGH = 0x6F  # 64-symbol coordinate alphabet
+
+
+def trajectory_automaton(
+    centers: list[int],
+    tolerance: int,
+    *,
+    report_code: int = 0,
+    name: str = "trajectory",
+) -> Automaton:
+    """One trajectory: a chain of coordinate windows.
+
+    State ``i`` matches any coordinate within ``tolerance`` of
+    ``centers[i]`` (clamped to the coordinate alphabet).  The chain is
+    unanchored — a trajectory may begin at any hit.
+    """
+    automaton = Automaton(name=name)
+    hub = automaton.add_state(
+        CharClass.full(), start=StartKind.START_OF_DATA, name=".*"
+    )
+    automaton.add_edge(hub, hub)
+    previous = hub
+    for index, center in enumerate(centers):
+        low = max(COORDINATE_LOW, center - tolerance)
+        high = min(COORDINATE_HIGH, center + tolerance)
+        is_last = index == len(centers) - 1
+        sid = automaton.add_state(
+            CharClass.range(low, high),
+            start=StartKind.START_OF_DATA if index == 0 else StartKind.NONE,
+            reporting=is_last,
+            report_code=report_code if is_last else None,
+        )
+        automaton.add_edge(previous, sid)
+        previous = sid
+    return automaton
+
+
+def fermi_benchmark(
+    *,
+    num_trajectories: int,
+    layers: int = 16,
+    tolerance: int = 12,
+    seed: int = 0,
+) -> tuple[Automaton, list[list[int]]]:
+    """A union of trajectory machines with random layer centers."""
+    rng = random.Random(seed)
+    machines = []
+    all_centers: list[list[int]] = []
+    for code in range(num_trajectories):
+        start = rng.randint(COORDINATE_LOW + 5, COORDINATE_HIGH - 5)
+        centers = []
+        position = start
+        for _ in range(layers):
+            position = min(
+                COORDINATE_HIGH, max(COORDINATE_LOW, position + rng.randint(-3, 3))
+            )
+            centers.append(position)
+        all_centers.append(centers)
+        machines.append(
+            trajectory_automaton(
+                centers, tolerance, report_code=code, name=f"traj-{code}"
+            )
+        )
+    return merge_all(machines, name="Fermi"), all_centers
+
+
+def hit_trace(length: int, *, seed: int = 0) -> bytes:
+    """A stream of detector hit coordinates (smooth random walk, the
+    regime where wide windows keep many trajectories alive)."""
+    rng = random.Random(seed)
+    out = bytearray()
+    position = rng.randint(COORDINATE_LOW, COORDINATE_HIGH)
+    for _ in range(length):
+        position = min(
+            COORDINATE_HIGH,
+            max(COORDINATE_LOW, position + rng.randint(-6, 6)),
+        )
+        out.append(position)
+    return bytes(out)

@@ -1,0 +1,145 @@
+"""Hamming-distance automata (the ANMLZoo *Hamming* benchmark).
+
+A Hamming automaton accepts every string within ``d`` substitutions of
+a reference string (here: encoded DNA sequences, matching the paper's
+description "counts the number of mismatches against input strings").
+
+The homogeneous construction is a grid over positions and accumulated
+mismatches: state ``(i, e, match)`` consumes ``pattern[i]`` exactly and
+keeps the error count at ``e``; state ``(i, e, miss)`` consumes any
+*other* symbol, having just raised the count to ``e``.  Both feed both
+successors at position ``i + 1``: the match at the same level and the
+miss one level up.  Miss states carry 255-symbol labels, which is why
+Hamming's symbol ranges span most of the state space (Table 1: range
+8151 of 11254 states) and why enumeration needs the flow-merging
+optimizations so badly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.builder import merge_all
+from repro.automata.charclass import CharClass
+from repro.errors import ConfigurationError
+
+DNA_ALPHABET = b"ACGT"
+
+_MATCH = 0
+_MISS = 1
+
+
+def hamming_automaton(
+    pattern: bytes,
+    distance: int,
+    *,
+    report_code: int = 0,
+    name: str | None = None,
+    unanchored: bool = True,
+) -> Automaton:
+    """One Hamming machine for ``pattern`` within ``distance``.
+
+    States are keyed ``(position, errors_after_consuming, kind)``; a
+    match keeps the error count, a miss state at level ``e`` represents
+    the mismatch that *raised* the count to ``e``.
+    """
+    if not pattern:
+        raise ConfigurationError("pattern must be non-empty")
+    if distance < 0 or distance >= len(pattern):
+        raise ConfigurationError(
+            f"distance must be in [0, {len(pattern) - 1}], got {distance}"
+        )
+    automaton = Automaton(name=name or f"hamming-{len(pattern)}-{distance}")
+    hub: int | None = None
+    if unanchored:
+        hub = automaton.add_state(
+            CharClass.full(), start=StartKind.START_OF_DATA, name=".*"
+        )
+        automaton.add_edge(hub, hub)
+
+    states: dict[tuple[int, int, int], int] = {}
+    length = len(pattern)
+    for i in range(length):
+        is_last = i == length - 1
+        # Position-0 states start at offset 0 either way; the hub (when
+        # unanchored) re-enables them at every later offset.
+        start_kind = (
+            StartKind.START_OF_DATA if i == 0 else StartKind.NONE
+        )
+        exact = CharClass.single(pattern[i])
+        for e in range(0, min(i, distance) + 1):
+            states[(i, e, _MATCH)] = automaton.add_state(
+                exact,
+                start=start_kind,
+                reporting=is_last,
+                report_code=report_code if is_last else None,
+                name=f"m{i}e{e}",
+            )
+        for e in range(1, min(i + 1, distance) + 1):
+            states[(i, e, _MISS)] = automaton.add_state(
+                exact.complement(),
+                start=start_kind,
+                reporting=is_last,
+                report_code=report_code if is_last else None,
+                name=f"x{i}e{e}",
+            )
+
+    for (i, e, _kind), sid in states.items():
+        if i + 1 >= length:
+            continue
+        same_level = states.get((i + 1, e, _MATCH))
+        if same_level is not None:
+            automaton.add_edge(sid, same_level)
+        raised = states.get((i + 1, e + 1, _MISS))
+        if raised is not None:
+            automaton.add_edge(sid, raised)
+
+    if hub is not None:
+        automaton.add_edge(hub, states[(0, 0, _MATCH)])
+        if (0, 1, _MISS) in states:
+            automaton.add_edge(hub, states[(0, 1, _MISS)])
+    automaton.validate()
+    return automaton
+
+
+def hamming_matches(reference: bytes, data: bytes, distance: int) -> set[int]:
+    """Reference oracle: end offsets where some window of ``data`` is
+    within ``distance`` substitutions of ``reference``."""
+    offsets = set()
+    for start in range(len(data) - len(reference) + 1):
+        window = data[start : start + len(reference)]
+        mismatches = sum(1 for a, b in zip(window, reference) if a != b)
+        if mismatches <= distance:
+            offsets.add(start + len(reference) - 1)
+    return offsets
+
+
+def hamming_benchmark(
+    *,
+    num_machines: int,
+    pattern_length: int = 24,
+    distance: int = 3,
+    seed: int = 0,
+    alphabet: bytes = DNA_ALPHABET,
+) -> tuple[Automaton, list[bytes]]:
+    """A union of Hamming machines over random DNA references.
+
+    Returns the automaton and the reference strings (for embedding
+    guaranteed near-matches into traces).
+    """
+    rng = random.Random(seed)
+    machines = []
+    references = []
+    for code in range(num_machines):
+        reference = bytes(rng.choice(alphabet) for _ in range(pattern_length))
+        references.append(reference)
+        machines.append(
+            hamming_automaton(
+                reference,
+                distance,
+                report_code=code,
+                name=f"hamming-{code}",
+            )
+        )
+    return merge_all(machines, name="Hamming"), references

@@ -1,0 +1,197 @@
+"""Levenshtein automata (the ANMLZoo *Levenshtein* benchmark).
+
+A Levenshtein automaton accepts every string within edit distance ``d``
+(substitutions, insertions, deletions) of a reference string; the paper
+runs length-24 references at distance 3 against encoded DNA sequences.
+
+The construction goes through the classic-NFA substrate on purpose: the
+textbook grid NFA over ``(consumed, edits)`` uses epsilon moves for
+deletions, which :func:`repro.automata.conversion.nfa_to_anml`
+eliminates and homogenizes — the same pipeline Micron's tooling applies.
+Insertion and substitution transitions carry full-alphabet labels, so
+Levenshtein's symbol ranges cover most of its state space (Table 1:
+range 2090 of 2660 states) and its components are few and dense — the
+paper's worst case for flow reduction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.anml import Automaton
+from repro.automata.builder import merge_all
+from repro.automata.charclass import CharClass
+from repro.automata.conversion import nfa_to_anml
+from repro.automata.nfa import Nfa
+from repro.errors import ConfigurationError
+from repro.workloads.hamming import DNA_ALPHABET
+
+
+def levenshtein_nfa(
+    pattern: bytes, distance: int, *, unanchored: bool = True
+) -> Nfa:
+    """The classic grid NFA for ``pattern`` within ``distance`` edits.
+
+    Substring semantics when ``unanchored``: the (0, 0) corner carries a
+    full-alphabet self loop, so a match may start at any text offset —
+    the semi-global alignment the DNA use case needs.
+    """
+    if not pattern:
+        raise ConfigurationError("pattern must be non-empty")
+    if distance < 0 or distance >= len(pattern):
+        raise ConfigurationError(
+            f"distance must be in [0, {len(pattern) - 1}], got {distance}"
+        )
+    length = len(pattern)
+    nfa = Nfa(name=f"lev-{length}-{distance}")
+    grid: dict[tuple[int, int], int] = {}
+    for i in range(length + 1):
+        for e in range(distance + 1):
+            grid[(i, e)] = nfa.add_state(
+                start=(i == 0 and e == 0), accept=i == length
+            )
+    if unanchored:
+        nfa.add_transition(grid[(0, 0)], CharClass.full(), grid[(0, 0)])
+    anything = CharClass.full()
+    for i in range(length + 1):
+        for e in range(distance + 1):
+            here = grid[(i, e)]
+            if i < length:
+                nfa.add_transition(
+                    here, CharClass.single(pattern[i]), grid[(i + 1, e)]
+                )
+            if e < distance:
+                if i < length:
+                    # substitution (consume one wrong symbol)
+                    nfa.add_transition(here, anything, grid[(i + 1, e + 1)])
+                    # deletion (skip a pattern symbol, no input consumed)
+                    nfa.add_epsilon(here, grid[(i + 1, e + 1)])
+                # insertion (consume a stray symbol, stay)
+                nfa.add_transition(here, anything, grid[(i, e + 1)])
+    return nfa
+
+
+def levenshtein_automaton(
+    pattern: bytes,
+    distance: int,
+    *,
+    unanchored: bool = True,
+    report_code: int | None = None,
+    name: str | None = None,
+) -> Automaton:
+    """The homogeneous form of :func:`levenshtein_nfa`."""
+    automaton = nfa_to_anml(
+        levenshtein_nfa(pattern, distance, unanchored=unanchored),
+        name=name or f"lev-{len(pattern)}-{distance}",
+    )
+    if report_code is not None:
+        automaton = _recode(automaton, report_code)
+    return automaton
+
+
+def levenshtein_matches(
+    reference: bytes, data: bytes, distance: int
+) -> set[int]:
+    """Reference oracle via semi-global edit-distance DP: end offsets
+    ``t`` where some substring of ``data`` ending at ``t`` is within
+    ``distance`` edits of ``reference``."""
+    length = len(reference)
+    previous = list(range(length + 1))  # D[i][0] = i
+    offsets = set()
+    for j, symbol in enumerate(data, start=1):
+        current = [0] * (length + 1)  # D[0][j] = 0: match starts anywhere
+        for i in range(1, length + 1):
+            cost = 0 if reference[i - 1] == symbol else 1
+            current[i] = min(
+                previous[i - 1] + cost,  # match / substitute
+                current[i - 1] + 1,  # delete from reference
+                previous[i] + 1,  # insert stray text symbol
+            )
+        if current[length] <= distance:
+            offsets.add(j - 1)
+        previous = current
+    return offsets
+
+
+def levenshtein_benchmark(
+    *,
+    num_components: int,
+    patterns_per_component: int = 1,
+    pattern_length: int = 24,
+    distance: int = 3,
+    seed: int = 0,
+    alphabet: bytes = DNA_ALPHABET,
+) -> tuple[Automaton, list[bytes]]:
+    """A union of Levenshtein machines.
+
+    Patterns within one component share the unanchored corner state (we
+    merge them by unioning their grids under a common hub), yielding the
+    few dense components Table 1 reports (4 components for the paper's
+    configuration).
+    """
+    rng = random.Random(seed)
+    components = []
+    references: list[bytes] = []
+    code = 0
+    for _ in range(num_components):
+        machines = []
+        for _ in range(patterns_per_component):
+            reference = bytes(
+                rng.choice(alphabet) for _ in range(pattern_length)
+            )
+            references.append(reference)
+            machine = levenshtein_automaton(reference, distance)
+            machines.append(_recode(machine, code))
+            code += 1
+        component = machines[0]
+        for extra in machines[1:]:
+            component = _bridge(component, extra)
+        components.append(component)
+    return merge_all(components, name="Levenshtein"), references
+
+
+def _recode(automaton: Automaton, code: int) -> Automaton:
+    """Copy with every reporting state's code set to ``code``."""
+    out = Automaton(name=automaton.name)
+    for ste in automaton.states():
+        out.add_state(
+            ste.label,
+            start=ste.start,
+            reporting=ste.reporting,
+            report_code=code if ste.reporting else None,
+            name=ste.name,
+        )
+    for src, dst in automaton.edges():
+        out.add_edge(src, dst)
+    return out
+
+
+def _bridge(left: Automaton, right: Automaton) -> Automaton:
+    """Union two machines and tie them into one connected component.
+
+    The bridge edge targets the right machine's always-active corner hub
+    (full label, self loop, start state) — a state that is matched on
+    every cycle regardless of enabling, so the extra edge is
+    semantically inert and only fuses the components, mirroring how
+    dense ANMLZoo automata share entry fan-out.
+    """
+    merged = left.union(right)
+    right_hub = _corner_hub(right)
+    left_hub = _corner_hub(left)
+    if right_hub is not None and left_hub is not None:
+        merged.add_edge(left_hub, right_hub + len(left))
+    return merged
+
+
+def _corner_hub(automaton: Automaton) -> int | None:
+    """The unanchored corner state: full label, self loop, start."""
+    from repro.automata.anml import StartKind
+
+    for ste in automaton.states():
+        if (
+            ste.label.is_full()
+            and ste.start is not StartKind.NONE
+            and automaton.has_self_loop(ste.sid)
+        ):
+            return ste.sid
+    return None

@@ -1,0 +1,133 @@
+"""Random Forest inference automata (the ANMLZoo *RandomForest*
+benchmark).
+
+Tracy et al. map decision-tree inference to automata: a feature vector
+is serialized as a byte string (one byte per feature), and each
+root-to-leaf path of each tree becomes a chain whose state ``i`` is a
+threshold class — "feature ``i`` below/above the split value".  One
+tree's paths share prefixes, so each tree compiles to one connected
+component; the forest is their union (Table 1: 1,661 components of ~20
+states each for the hand-written-digit model).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.builder import merge_all
+from repro.automata.charclass import CharClass
+from repro.automata.prefix_merge import merge_common_prefixes
+
+FEATURE_LOW = 0x20
+FEATURE_HIGH = 0x7E  # printable feature-value encoding
+VECTOR_SEPARATOR = 0x0A  # newline between serialized feature vectors
+
+
+def _bucket_class(center: int, width: int) -> CharClass:
+    """A value-bucket interval around ``center``.
+
+    The AP mapping discretizes each feature's split thresholds into
+    small value buckets (Tracy et al.), so state labels are narrow
+    intervals rather than half-range splits — which is what keeps
+    RandomForest's symbol ranges near 5% of its state space (Table 1:
+    range 1,616 of 33,220 states).
+    """
+    low = max(FEATURE_LOW, center - width // 2)
+    high = min(FEATURE_HIGH, low + width - 1)
+    return CharClass.range(low, high)
+
+
+def tree_automaton(
+    *,
+    depth: int,
+    num_leaves: int,
+    rng: random.Random,
+    report_code: int,
+    name: str = "tree",
+) -> Automaton:
+    """One tree: ``num_leaves`` root-to-leaf threshold chains hanging
+    off a vector-separator trigger, prefix merged so shared split
+    prefixes collapse (one component).
+
+    The trigger state matches the separator between serialized feature
+    vectors and is an all-input start, so classification runs for every
+    vector in the stream (and for the first one via start-of-data).
+    """
+    automaton = Automaton(name=name)
+    trigger = automaton.add_state(
+        CharClass.single(VECTOR_SEPARATOR),
+        start=StartKind.ALL_INPUT,
+        name="vector-start",
+    )
+    # Each tree discretizes every feature into a few buckets.  All
+    # leaves share the root bucket (a tree has one root split), so each
+    # tree prefix-merges into a single connected component.
+    bucket_width = 5
+    root_center = rng.randint(FEATURE_LOW + 3, FEATURE_HIGH - 3)
+    bucket_centers = [
+        [rng.randint(FEATURE_LOW + 3, FEATURE_HIGH - 3) for _ in range(3)]
+        for _ in range(depth - 1)
+    ]
+    for _ in range(num_leaves):
+        previous: int | None = None
+        for level in range(depth):
+            center = (
+                root_center
+                if level == 0
+                else rng.choice(bucket_centers[level - 1])
+            )
+            is_last = level == depth - 1
+            sid = automaton.add_state(
+                _bucket_class(center, bucket_width),
+                start=(
+                    StartKind.START_OF_DATA if level == 0 else StartKind.NONE
+                ),
+                reporting=is_last,
+                report_code=report_code if is_last else None,
+            )
+            if previous is None:
+                automaton.add_edge(trigger, sid)
+            else:
+                automaton.add_edge(previous, sid)
+            previous = sid
+    merged = merge_common_prefixes(automaton)
+    merged.name = name
+    return merged
+
+
+def randomforest_benchmark(
+    *,
+    num_trees: int,
+    depth: int = 10,
+    leaves_per_tree: int = 6,
+    seed: int = 0,
+) -> Automaton:
+    """A forest of threshold-chain trees (anchored: classification runs
+    on fixed-offset feature vectors, one vector per input record)."""
+    rng = random.Random(seed)
+    trees = [
+        tree_automaton(
+            depth=depth,
+            num_leaves=leaves_per_tree,
+            rng=rng,
+            report_code=code,
+            name=f"tree-{code}",
+        )
+        for code in range(num_trees)
+    ]
+    return merge_all(trees, name="RandomForest")
+
+
+def feature_trace(
+    length: int, *, vector_size: int = 28, seed: int = 0
+) -> bytes:
+    """Separator-delimited feature vectors over the printable range."""
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < length:
+        out.extend(
+            rng.randint(FEATURE_LOW, FEATURE_HIGH) for _ in range(vector_size)
+        )
+        out.append(VECTOR_SEPARATOR)
+    return bytes(out[:length])

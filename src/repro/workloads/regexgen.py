@@ -1,0 +1,118 @@
+"""Synthetic regex rulesets shaped like the Regex benchmark suite.
+
+The Regex suite (Becchi et al.) parameterizes rulesets by the fraction
+of rules containing unbounded ``.*`` repetitions (Dotstar03/06/09 =
+3/6/9%), the fraction containing character classes (Ranges05/1 = 50% /
+100%), exact literals (ExactMatch), and real ruleset shapes (Bro217,
+TCP, PowerEN).  We regenerate those *shapes* with seeded randomness.
+
+Connected components are controlled explicitly: patterns are drawn in
+*groups* that share a common prefix, each group is compiled and
+prefix-merged on its own, and groups are unioned — so the generated
+automaton has exactly one component per group, matching how Table 1's
+benchmarks keep tens of components after compression.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.automata.anml import Automaton
+from repro.automata.builder import merge_all
+from repro.regex.ruleset import compile_ruleset
+
+LITERAL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+@dataclass(frozen=True)
+class RegexSuiteParams:
+    """Shape parameters for one generated ruleset."""
+
+    num_groups: int
+    patterns_per_group: int
+    min_length: int = 8
+    max_length: int = 20
+    dotstar_fraction: float = 0.0
+    """Fraction of rules containing an inner unbounded ``.*``."""
+    class_fraction: float = 0.0
+    """Fraction of rules containing character classes."""
+    class_width: int = 12
+    """Symbols per character class."""
+    prefix_length: int = 3
+    """Shared prefix length within a group (drives prefix merging)."""
+
+
+def _random_literal(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(LITERAL_ALPHABET) for _ in range(length))
+
+
+_CLASS_SPANS = ("abcdefghijklmnopqrstuvwxyz", "0123456789")
+
+
+def _random_class(rng: random.Random, width: int) -> str:
+    """A contiguous codepoint range inside one alphabet span."""
+    span = rng.choice(_CLASS_SPANS)
+    start = rng.randrange(max(1, len(span) - width + 1))
+    stop = min(len(span) - 1, start + max(1, width - 1))
+    if stop == start:
+        return span[start]
+    return f"[{span[start]}-{span[stop]}]"
+
+
+def _make_pattern(rng: random.Random, params: RegexSuiteParams, prefix: str) -> str:
+    length = rng.randint(params.min_length, params.max_length)
+    body_length = max(1, length - len(prefix))
+    pieces: list[str] = []
+    use_classes = rng.random() < params.class_fraction
+    for _ in range(body_length):
+        if use_classes and rng.random() < 0.4:
+            pieces.append(_random_class(rng, params.class_width))
+        else:
+            pieces.append(rng.choice(LITERAL_ALPHABET))
+    if params.dotstar_fraction and rng.random() < params.dotstar_fraction:
+        cut = rng.randint(1, max(1, len(pieces) - 1))
+        pieces.insert(cut, ".*")
+    return prefix + "".join(pieces)
+
+
+def generate_ruleset(
+    params: RegexSuiteParams, *, seed: int = 0, name: str = "regexgen"
+) -> tuple[Automaton, list[str]]:
+    """Generate, compile, and group-wise prefix-merge a ruleset.
+
+    Returns the unioned automaton (one connected component per group)
+    and the flat pattern list (for trace embedding and documentation).
+    """
+    rng = random.Random(seed)
+    group_automata = []
+    all_patterns: list[str] = []
+    code_base = 0
+    for group in range(params.num_groups):
+        prefix = _random_literal(rng, params.prefix_length)
+        patterns = [
+            _make_pattern(rng, params, prefix)
+            for _ in range(params.patterns_per_group)
+        ]
+        automaton, _ = compile_ruleset(
+            patterns, name=f"{name}-g{group}", prefix_merge=True
+        )
+        group_automata.append(automaton)
+        all_patterns.extend(patterns)
+        code_base += len(patterns)
+    merged = merge_all(group_automata, name=name)
+    merged.validate()
+    return merged, all_patterns
+
+
+def literal_snippets(
+    patterns: list[str], rng: random.Random, limit: int = 64
+) -> list[bytes]:
+    """Plain-literal patterns usable as guaranteed-match snippets."""
+    snippets = [
+        pattern.encode("latin-1")
+        for pattern in patterns
+        if all(ch in LITERAL_ALPHABET for ch in pattern)
+    ]
+    rng.shuffle(snippets)
+    return snippets[:limit]

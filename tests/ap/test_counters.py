@@ -1,0 +1,168 @@
+"""Unit tests for counter and boolean elements."""
+
+import pytest
+
+from repro.ap.counters import (
+    BooleanElement,
+    CounterBank,
+    CounterElement,
+    CounterEvent,
+    CounterMode,
+)
+from repro.automata.execution import Report
+from repro.errors import CapacityError, ConfigurationError
+
+
+def reports(*pairs):
+    return [Report(offset=o, element=e, code=e) for o, e in pairs]
+
+
+class TestCounterElement:
+    def test_latch_fires_once(self):
+        counter = CounterElement(
+            counter_id=0, inputs=frozenset({1}), target=2
+        )
+        assert counter.feed(0, 1) is None
+        event = counter.feed(1, 1)
+        assert event == CounterEvent(offset=1, counter_id=0, count=2)
+        assert counter.feed(2, 1) is None  # latched
+
+    def test_roll_fires_every_target(self):
+        counter = CounterElement(
+            counter_id=0, inputs=frozenset({1}), target=2, mode=CounterMode.ROLL
+        )
+        assert counter.feed(0, 2) is not None
+        assert counter.count == 0
+        assert counter.feed(1, 1) is None
+        assert counter.feed(2, 1) is not None
+
+    def test_pulse_fires_repeatedly_beyond_target(self):
+        counter = CounterElement(
+            counter_id=0, inputs=frozenset({1}), target=1, mode=CounterMode.PULSE
+        )
+        assert counter.feed(0, 1) is not None
+        assert counter.feed(1, 1) is not None
+
+    def test_multiple_same_cycle_activations(self):
+        counter = CounterElement(
+            counter_id=0, inputs=frozenset({1, 2}), target=2
+        )
+        assert counter.feed(0, 2) is not None
+
+    def test_reset(self):
+        counter = CounterElement(counter_id=0, inputs=frozenset({1}), target=1)
+        counter.feed(0, 1)
+        counter.reset()
+        assert counter.count == 0 and not counter.latched
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CounterElement(counter_id=0, inputs=frozenset(), target=1)
+        with pytest.raises(ConfigurationError):
+            CounterElement(counter_id=0, inputs=frozenset({1}), target=0)
+
+
+class TestBooleanElement:
+    @pytest.mark.parametrize(
+        "function,fired,expected",
+        [
+            ("and", {1, 2}, True),
+            ("and", {1}, False),
+            ("or", {2}, True),
+            ("or", set(), False),
+            ("nand", {1}, True),
+            ("nand", {1, 2}, False),
+            ("nor", set(), True),
+            ("nor", {2}, False),
+        ],
+    )
+    def test_truth_table(self, function, fired, expected):
+        gate = BooleanElement(
+            boolean_id=0, function=function, inputs=frozenset({1, 2})
+        )
+        assert gate.evaluate(frozenset(fired)) is expected
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BooleanElement(boolean_id=0, function="xor3", inputs=frozenset({1}))
+
+
+class TestCounterBank:
+    def test_support_counting_flow(self):
+        bank = CounterBank()
+        support = bank.add_counter(inputs=[5], target=3)
+        events, _ = bank.process(
+            reports((0, 5), (4, 5), (9, 5), (12, 5))
+        )
+        assert [e.counter_id for e in events] == [support]
+        assert events[0].offset == 9  # third activation
+
+    def test_counters_see_cycles_not_wires(self):
+        # Two inputs firing in the same cycle bump the count by two.
+        bank = CounterBank()
+        bank.add_counter(inputs=[1, 2], target=2)
+        events, _ = bank.process(reports((3, 1), (3, 2)))
+        assert len(events) == 1 and events[0].offset == 3
+
+    def test_boolean_same_cycle_and(self):
+        bank = CounterBank()
+        gate = bank.add_boolean("and", [1, 2])
+        _, firings = bank.process(reports((1, 1), (2, 2), (5, 1), (5, 2)))
+        assert firings == [(5, gate)]
+
+    def test_unsorted_reports_processed_in_offset_order(self):
+        bank = CounterBank()
+        bank.add_counter(inputs=[1], target=2)
+        events, _ = bank.process(reports((9, 1), (2, 1)))
+        assert events[0].offset == 9
+
+    def test_capacity_limits(self):
+        bank = CounterBank(counter_capacity=1, boolean_capacity=1)
+        bank.add_counter(inputs=[1], target=1)
+        with pytest.raises(CapacityError):
+            bank.add_counter(inputs=[1], target=1)
+        bank.add_boolean("or", [1])
+        with pytest.raises(CapacityError):
+            bank.add_boolean("or", [1])
+
+    def test_device_capacities_default(self):
+        bank = CounterBank()
+        assert bank.counter_capacity == 768
+        assert bank.boolean_capacity == 2_304
+
+    def test_reset_bank(self):
+        bank = CounterBank()
+        bank.add_counter(inputs=[1], target=2)
+        bank.process(reports((0, 1)))
+        bank.reset()
+        events, _ = bank.process(reports((1, 1)))
+        assert not events
+
+
+class TestEndToEndSupportCounting:
+    def test_spm_support_with_counters(self):
+        """The counters' canonical use: count SPM pattern support on
+        the AP instead of streaming every occurrence to the host."""
+        from repro.automata.execution import run_automaton
+        from repro.workloads.spm import spm_benchmark, transaction_trace
+
+        automaton, items = spm_benchmark(num_patterns=4, seed=5)
+        stream = transaction_trace(items, 6_000, seed=6, hit_fraction=0.6)
+        result = run_automaton(automaton, stream)
+
+        bank = CounterBank()
+        for code in range(4):
+            elements = [
+                s.sid
+                for s in automaton.states()
+                if s.reporting and s.code == code
+            ]
+            bank.add_counter(inputs=elements, target=2)
+        events, _ = bank.process(result.reports)
+        fired = {e.counter_id for e in events}
+        # Patterns matched at least twice must have fired their counter.
+        from collections import Counter
+
+        support = Counter(r.code for r in result.report_set)
+        expected = {code for code, count in support.items() if count >= 2}
+        assert fired >= expected

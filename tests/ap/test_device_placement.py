@@ -1,0 +1,174 @@
+"""Unit tests for routing, placement, and device composition."""
+
+import pytest
+
+from repro.ap.device import Board, HalfCore
+from repro.ap.geometry import FOUR_RANKS, ONE_RANK, BoardGeometry
+from repro.ap.placement import place_automaton, segments_available
+from repro.ap.routing import RoutingMatrix
+from repro.automata import builder
+from repro.automata.anml import Automaton
+from repro.errors import PlacementError
+
+
+def ruleset(num_groups=3, pattern="abc"):
+    automaton = Automaton("rs")
+    for code in range(num_groups):
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(
+            automaton, hub, builder.classes_for(pattern), report_code=code
+        )
+    return automaton
+
+
+class TestRoutingMatrix:
+    def test_route_follows_programmed_edges(self):
+        matrix = RoutingMatrix(8)
+        matrix.program({(0, 1), (0, 2), (3, 4)})
+        assert matrix.route({0}) == {1, 2}
+        assert matrix.route({0, 3}) == {1, 2, 4}
+        assert matrix.route({5}) == set()
+
+    def test_out_of_range_edge_rejected(self):
+        matrix = RoutingMatrix(4)
+        with pytest.raises(PlacementError):
+            matrix.program({(0, 9)})
+
+    def test_recompilation_counted(self):
+        matrix = RoutingMatrix(4)
+        matrix.program({(0, 1)})
+        assert matrix.recompilations == 0
+        matrix.program({(1, 2)})
+        assert matrix.recompilations == 1
+
+    def test_utilization(self):
+        matrix = RoutingMatrix(10)
+        matrix.program({(0, 1), (1, 2)})
+        assert matrix.utilization() == 0.2
+
+
+class TestPlacement:
+    def test_small_automaton_fits_one_half_core(self):
+        placement = place_automaton(ruleset())
+        assert placement.half_cores == 1
+        assert placement.total_states == 12
+
+    def test_components_never_split(self):
+        automaton = ruleset(num_groups=4)
+        placement = place_automaton(automaton, capacity=8)
+        # 4 components of 4 states with capacity 8 -> 2 per half-core.
+        assert placement.half_cores == 2
+        loads = placement.loads
+        assert all(load <= 8 for load in loads)
+
+    def test_component_exceeding_capacity_rejected(self):
+        automaton = ruleset(pattern="abcdefghij")  # 11-state component
+        with pytest.raises(PlacementError, match="exceeding"):
+            place_automaton(automaton, capacity=8)
+
+    def test_min_half_cores_pins_footprint(self):
+        placement = place_automaton(ruleset(), min_half_cores=3)
+        assert placement.half_cores == 3
+
+    def test_utilization_fraction(self):
+        placement = place_automaton(ruleset(), capacity=24)
+        assert placement.utilization(24) == 12 / 24
+
+    def test_segments_available_matches_table1(self):
+        # Table 1's last two columns.
+        assert segments_available(ONE_RANK, 1) == 16
+        assert segments_available(ONE_RANK, 2) == 8
+        assert segments_available(ONE_RANK, 3) == 5
+        assert segments_available(FOUR_RANKS, 1) == 64
+        assert segments_available(FOUR_RANKS, 2) == 32
+        assert segments_available(FOUR_RANKS, 3) == 21
+
+    def test_segments_available_validates(self):
+        with pytest.raises(PlacementError):
+            segments_available(ONE_RANK, 0)
+
+
+class TestHalfCoreLoading:
+    def test_load_programs_stes_and_routing(self):
+        automaton = ruleset(num_groups=1)
+        half_core = HalfCore(index=0, capacity=16)
+        half_core.load(automaton, list(range(4)))
+        assert half_core.occupancy == 4
+        assert half_core.stes.programmed == 4
+        assert half_core.routing.num_edges == automaton.num_edges
+
+    def test_cross_half_core_edge_rejected(self):
+        automaton = ruleset(num_groups=1)
+        half_core = HalfCore(index=0, capacity=16)
+        with pytest.raises(PlacementError, match="crosses half-core"):
+            half_core.load(automaton, [0, 1])  # chain continues to 2,3
+
+    def test_over_capacity_rejected(self):
+        automaton = ruleset(num_groups=1)
+        half_core = HalfCore(index=0, capacity=2)
+        with pytest.raises(PlacementError):
+            half_core.load(automaton, [0, 1, 2, 3])
+
+
+class TestBoard:
+    @pytest.fixture
+    def tiny_board(self):
+        return Board(
+            geometry=BoardGeometry(
+                ranks=1, devices_per_rank=1, stes_per_half_core=64
+            )
+        )
+
+    def test_board_composition(self, tiny_board):
+        assert tiny_board.num_half_cores == 2
+        assert len(tiny_board.devices) == 1
+        assert tiny_board.devices[0].state_vector_cache.capacity == 512
+
+    def test_half_core_global_addressing(self, tiny_board):
+        assert tiny_board.half_core(0) is tiny_board.devices[0].half_cores[0]
+        assert tiny_board.half_core(1) is tiny_board.devices[0].half_cores[1]
+
+    def test_load_automaton_places_components(self, tiny_board):
+        automaton = ruleset(num_groups=2)
+        placement = tiny_board.load_automaton(automaton)
+        assert placement.half_cores == 1
+        assert tiny_board.half_core(0).occupancy == automaton.num_states
+
+    def test_load_replicas_at_offsets(self, tiny_board):
+        automaton = ruleset(num_groups=1)
+        tiny_board.load_automaton(automaton, first_half_core=0)
+        tiny_board.load_automaton(automaton, first_half_core=1)
+        assert tiny_board.half_core(0).occupancy == 4
+        assert tiny_board.half_core(1).occupancy == 4
+
+    def test_load_beyond_board_rejected(self, tiny_board):
+        automaton = ruleset(num_groups=1)
+        with pytest.raises(PlacementError):
+            tiny_board.load_automaton(automaton, first_half_core=2)
+
+    def test_loaded_board_matches_functional_executor(self, tiny_board):
+        """Row-read match + routing-matrix transition must equal one
+        functional executor step (the hardware/functional cross-check)."""
+        automaton = ruleset(num_groups=1)
+        tiny_board.load_automaton(automaton)
+        half_core = tiny_board.half_core(0)
+
+        # One step from {hub}: match phase then transition phase.
+        slot_of = half_core.loaded_states
+        active = {slot_of[0]}  # hub resident slot
+        symbol = ord("a")
+        matched = half_core.stes.match_word(symbol) & half_core.routing.route(
+            active
+        )
+        # Functional truth: hub's successors matching 'a' = chain head.
+        from repro.automata.execution import CompiledAutomaton, FlowExecution
+
+        flow = FlowExecution(
+            CompiledAutomaton(automaton),
+            initial_current=[0],
+            one_shot=frozenset(),
+            persistent=frozenset(),
+        )
+        flow.step(symbol, 0)
+        expected_slots = {slot_of[sid] for sid in flow.current}
+        assert matched == expected_slots

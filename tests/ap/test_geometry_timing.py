@@ -1,0 +1,89 @@
+"""Unit tests for AP geometry and timing constants."""
+
+import pytest
+
+from repro.ap.geometry import (
+    FOUR_RANKS,
+    ONE_RANK,
+    STATE_VECTOR_BITS,
+    STES_PER_HALF_CORE,
+    BoardGeometry,
+)
+from repro.ap.timing import DEFAULT_TIMING, TimingModel
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_paper_constants(self):
+        # Section 2.1: 2 half-cores of 24,576 STEs; 4 ranks of 8 devices.
+        assert STES_PER_HALF_CORE == 24_576
+        assert ONE_RANK.half_cores == 16
+        assert FOUR_RANKS.half_cores == 64
+        assert FOUR_RANKS.devices == 32
+
+    def test_state_vector_size(self):
+        # (256 enable + 56 counter bits) x 192 blocks + 32 = 59,936.
+        assert STATE_VECTOR_BITS == 59_936
+
+    def test_total_stes(self):
+        assert ONE_RANK.stes == 16 * 24_576
+        assert FOUR_RANKS.stes == 64 * 24_576
+
+    def test_with_ranks(self):
+        assert ONE_RANK.with_ranks(4) == FOUR_RANKS
+        assert FOUR_RANKS.with_ranks(1) == ONE_RANK
+
+    def test_half_cores_per_rank(self):
+        assert BoardGeometry(ranks=2).half_cores_per_rank == 16
+
+    def test_custom_geometry(self):
+        tiny = BoardGeometry(ranks=1, devices_per_rank=2)
+        assert tiny.half_cores == 4
+
+
+class TestTiming:
+    def test_paper_latencies(self):
+        # 7.5 ns symbol cycle, 3-cycle switch, 1668-cycle SV transfer,
+        # 15-cycle FIV (Sections 3.2 and 4.2).
+        assert DEFAULT_TIMING.symbol_cycle_ns == 7.5
+        assert DEFAULT_TIMING.context_switch_cycles == 3
+        assert DEFAULT_TIMING.state_vector_transfer_cycles == 1_668
+        assert DEFAULT_TIMING.fiv_transfer_cycles == 15
+
+    def test_cycle_conversion(self):
+        assert DEFAULT_TIMING.cycles_to_ns(2) == 15.0
+        assert DEFAULT_TIMING.cycles_to_seconds(1_000_000) == pytest.approx(
+            0.0075
+        )
+
+    def test_context_switch_multiplier(self):
+        assert DEFAULT_TIMING.with_context_switch_multiplier(2).context_switch_cycles == 6
+        assert DEFAULT_TIMING.with_context_switch_multiplier(4).context_switch_cycles == 12
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_TIMING.with_context_switch_multiplier(0)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(symbol_cycle_ns=0)
+        with pytest.raises(ConfigurationError):
+            TimingModel(context_switch_cycles=-1)
+
+    def test_scaled_for_input_shrinks_constants(self):
+        scaled = DEFAULT_TIMING.scaled_for_input(65_536, 1_048_576)
+        factor = 65_536 / 1_048_576
+        assert scaled.state_vector_transfer_cycles == round(1_668 * factor)
+        assert scaled.fiv_transfer_cycles >= 1
+        assert scaled.context_switch_cycles == 3  # per-symbol costs stay
+
+    def test_scaled_for_input_noop_at_full_size(self):
+        assert DEFAULT_TIMING.scaled_for_input(1_048_576, 1_048_576) is DEFAULT_TIMING
+        assert (
+            DEFAULT_TIMING.scaled_for_input(2_000_000, 1_000_000)
+            is DEFAULT_TIMING
+        )
+
+    def test_scaled_for_input_validates(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_TIMING.scaled_for_input(0, 100)

@@ -1,0 +1,129 @@
+"""Unit tests for the STE column model and the state-vector cache."""
+
+import pytest
+
+from repro.ap.state_vector import StateVector, StateVectorCache
+from repro.ap.ste import SteArray, SteColumn
+from repro.automata.charclass import CharClass
+from repro.errors import AutomatonError, CapacityError
+
+
+class TestSteColumn:
+    def test_program_and_row_read(self):
+        column = SteColumn()
+        column.program(CharClass("ab"))
+        assert column.row_read(ord("a"))
+        assert not column.row_read(ord("c"))
+
+    def test_one_hot_semantics_matches_charclass(self):
+        # The bit-level column and the CharClass mask must agree on all
+        # 256 rows (the paper's example: 'a' -> row 97 set).
+        label = CharClass.range("0", "9") | CharClass.single(97)
+        column = SteColumn()
+        column.program(label)
+        for symbol in range(256):
+            assert column.row_read(symbol) == (symbol in label)
+        assert column.to_charclass() == label
+
+    def test_row97_for_lowercase_a(self):
+        column = SteColumn()
+        column.program(CharClass.single("a"))
+        assert column.rows[97] == 1
+        assert column.popcount() == 1
+
+    def test_reprogram_clears(self):
+        column = SteColumn()
+        column.program(CharClass("abc"))
+        column.program(CharClass("x"))
+        assert column.popcount() == 1
+
+    def test_bad_row_address(self):
+        with pytest.raises(AutomatonError):
+            SteColumn().row_read(256)
+
+
+class TestSteArray:
+    def test_broadcast_match(self):
+        array = SteArray(8)
+        array.program_column(0, CharClass("a"))
+        array.program_column(3, CharClass("ab"))
+        array.program_column(5, CharClass("b"))
+        assert array.match_word(ord("a")) == {0, 3}
+        assert array.match_word(ord("b")) == {3, 5}
+
+    def test_unprogrammed_columns_never_match(self):
+        array = SteArray(4)
+        assert array.match_word(ord("a")) == set()
+        assert array.programmed == 0
+
+    def test_capacity_enforced(self):
+        array = SteArray(2)
+        with pytest.raises(AutomatonError):
+            array.program_column(2, CharClass("a"))
+        with pytest.raises(AutomatonError):
+            SteArray(0)
+
+
+class TestStateVector:
+    def test_zero_detection(self):
+        assert StateVector(active=frozenset()).is_zero()
+        assert not StateVector(active=frozenset({3})).is_zero()
+        assert not StateVector(active=frozenset(), counters=(1,)).is_zero()
+
+    def test_equality_comparator(self):
+        a = StateVector(active=frozenset({1, 2}))
+        b = StateVector(active=frozenset({2, 1}))
+        c = StateVector(active=frozenset({1}))
+        assert a.equals(b)
+        assert not a.equals(c)
+
+    def test_architectural_bit_width(self):
+        assert StateVector(active=frozenset()).bits == 59_936
+
+
+class TestStateVectorCache:
+    def test_save_restore_roundtrip(self):
+        cache = StateVectorCache(capacity=4)
+        vector = StateVector(active=frozenset({7}))
+        cache.save(2, vector)
+        assert cache.restore(2) == vector
+        assert cache.saves == 1
+        assert cache.restores == 1
+
+    def test_capacity_limit_is_512_by_default(self):
+        assert StateVectorCache().capacity == 512
+
+    def test_overflow_raises(self):
+        cache = StateVectorCache(capacity=1)
+        cache.save(0, StateVector(active=frozenset()))
+        with pytest.raises(CapacityError):
+            cache.save(1, StateVector(active=frozenset()))
+
+    def test_overwrite_same_slot_allowed(self):
+        cache = StateVectorCache(capacity=1)
+        cache.save(0, StateVector(active=frozenset()))
+        cache.save(0, StateVector(active=frozenset({1})))
+        assert cache.restore(0).active == frozenset({1})
+
+    def test_invalidate_frees_slot(self):
+        cache = StateVectorCache(capacity=1)
+        cache.save(0, StateVector(active=frozenset()))
+        cache.invalidate(0)
+        cache.invalidate(0)  # idempotent
+        cache.save(1, StateVector(active=frozenset()))
+        assert cache.occupied() == 1
+        assert cache.slots() == (1,)
+
+    def test_restore_missing_slot(self):
+        with pytest.raises(CapacityError):
+            StateVectorCache().restore(9)
+
+    def test_comparator_counts_invocations(self):
+        cache = StateVectorCache()
+        cache.save(0, StateVector(active=frozenset({1})))
+        cache.save(1, StateVector(active=frozenset({1})))
+        cache.save(2, StateVector(active=frozenset()))
+        assert cache.compare(0, 1)
+        assert not cache.compare(0, 2)
+        assert cache.is_zero(2)
+        assert cache.comparisons == 3

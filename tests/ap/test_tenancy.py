@@ -1,0 +1,89 @@
+"""Tests for multi-stream flow tenancy."""
+
+import pytest
+
+from repro.ap.state_vector import StateVectorCache
+from repro.ap.tenancy import MultiStreamScheduler
+from repro.automata.execution import run_automaton
+from repro.errors import CapacityError, ConfigurationError
+from repro.regex.ruleset import compile_ruleset
+
+
+@pytest.fixture(scope="module")
+def automaton():
+    compiled, _ = compile_ruleset(["needle", "spike[0-9]"])
+    return compiled
+
+
+class TestMultiStream:
+    def test_each_stream_gets_its_own_matches(self, automaton):
+        scheduler = MultiStreamScheduler(automaton, slice_symbols=16)
+        streams = [
+            b"xx needle yy",
+            b"nothing here",
+            b"spike7 spike8",
+        ]
+        result = scheduler.run(streams)
+        for job, data in zip(result.jobs, streams):
+            assert job.reports == run_automaton(automaton, data).report_set
+
+    def test_isolation_between_tenants(self, automaton):
+        # A partial match in one stream must not leak into another.
+        scheduler = MultiStreamScheduler(automaton, slice_symbols=3)
+        streams = [b"need", b"le"]  # neither contains the full needle
+        result = scheduler.run(streams)
+        assert not result.jobs[0].reports
+        assert not result.jobs[1].reports
+
+    def test_report_offsets_are_stream_local(self, automaton):
+        scheduler = MultiStreamScheduler(automaton, slice_symbols=4)
+        result = scheduler.run([b"..needle", b"needle"])
+        assert {r.offset for r in result.jobs[0].reports} == {7}
+        assert {r.offset for r in result.jobs[1].reports} == {5}
+
+    def test_switch_cost_accounting(self, automaton):
+        scheduler = MultiStreamScheduler(automaton, slice_symbols=8)
+        result = scheduler.run([b"a" * 16, b"b" * 16])
+        # 2 jobs x 2 slices each, multiplexed throughout: 4 switches.
+        assert result.switch_cycles == 4 * 3
+        assert result.symbol_cycles == 32
+        assert result.total_cycles == 32 + 12
+        assert 0 < result.multiplexing_overhead < 1
+
+    def test_single_stream_pays_no_switching(self, automaton):
+        scheduler = MultiStreamScheduler(automaton, slice_symbols=8)
+        result = scheduler.run([b"x" * 40])
+        assert result.switch_cycles == 0
+        assert result.total_cycles == 40
+
+    def test_uneven_lengths_finish_independently(self, automaton):
+        scheduler = MultiStreamScheduler(automaton, slice_symbols=8)
+        result = scheduler.run([b"x" * 8, b"y" * 64])
+        short, long = result.jobs
+        assert short.finish_cycles < long.finish_cycles
+        assert long.finish_cycles == result.total_cycles
+        # Once alone, the long stream stops paying switch cost.
+        assert result.switch_cycles < (8 + 64) // 8 * 3 + 6
+
+    def test_empty_stream(self, automaton):
+        scheduler = MultiStreamScheduler(automaton)
+        result = scheduler.run([b"", b"needle"])
+        assert result.jobs[0].finish_cycles == 0
+        assert result.jobs[1].reports
+
+    def test_cache_capacity_enforced(self, automaton):
+        scheduler = MultiStreamScheduler(
+            automaton, cache=StateVectorCache(capacity=1)
+        )
+        with pytest.raises(CapacityError):
+            scheduler.run([b"a", b"b"])
+
+    def test_cache_slots_released(self, automaton):
+        cache = StateVectorCache(capacity=2)
+        scheduler = MultiStreamScheduler(automaton, cache=cache)
+        scheduler.run([b"aa", b"bb"])
+        assert cache.occupied() == 0
+
+    def test_bad_slice_rejected(self, automaton):
+        with pytest.raises(ConfigurationError):
+            MultiStreamScheduler(automaton, slice_symbols=0)

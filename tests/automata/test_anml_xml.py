@@ -1,0 +1,165 @@
+"""Tests for ANML XML import/export."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import builder
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.anml_xml import (
+    automaton_from_anml_xml,
+    automaton_to_anml_xml,
+    parse_symbol_set,
+    symbol_set_to_anml,
+)
+from repro.automata.charclass import ALPHABET_SIZE, CharClass
+from repro.automata.execution import run_automaton
+from repro.automata.random_gen import random_input, random_ruleset_automaton
+from repro.errors import AutomatonError
+
+
+class TestSymbolSets:
+    @pytest.mark.parametrize(
+        "klass,expected",
+        [
+            (CharClass.full(), "*"),
+            (CharClass.single("a"), "a"),
+            (CharClass.range("a", "c"), "[a-c]"),
+            (CharClass("ab"), "[ab]"),
+        ],
+    )
+    def test_rendering(self, klass, expected):
+        assert symbol_set_to_anml(klass) == expected
+
+    def test_negation_for_wide_classes(self):
+        klass = CharClass.single("a").complement()
+        assert symbol_set_to_anml(klass) == "[^a]"
+
+    def test_hex_escapes_for_nonprintable(self):
+        assert symbol_set_to_anml(CharClass([0])) == "[\\x00]"
+
+    @pytest.mark.parametrize(
+        "text,symbols",
+        [
+            ("*", set(range(ALPHABET_SIZE))),
+            ("a", {97}),
+            ("[abc]", {97, 98, 99}),
+            ("[a-c]", {97, 98, 99}),
+            ("[\\x00-\\x02]", {0, 1, 2}),
+        ],
+    )
+    def test_parsing(self, text, symbols):
+        assert set(parse_symbol_set(text)) == symbols
+
+    def test_parse_negated(self):
+        klass = parse_symbol_set("[^ab]")
+        assert "a" not in klass and "c" in klass
+
+    def test_parse_errors(self):
+        with pytest.raises(AutomatonError):
+            parse_symbol_set("[abc")
+        with pytest.raises(AutomatonError):
+            parse_symbol_set("[c-a]")
+        with pytest.raises(AutomatonError):
+            parse_symbol_set("ab")
+        with pytest.raises(AutomatonError):
+            parse_symbol_set("[a\\]")
+
+    @settings(max_examples=100)
+    @given(
+        symbols=st.frozensets(
+            st.integers(0, ALPHABET_SIZE - 1), min_size=1, max_size=20
+        )
+    )
+    def test_roundtrip_property(self, symbols):
+        klass = CharClass(symbols)
+        assert parse_symbol_set(symbol_set_to_anml(klass)) == klass
+
+
+class TestDocumentRoundTrip:
+    @pytest.fixture
+    def sample(self):
+        automaton = Automaton("sample-net")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(
+            automaton, hub, builder.classes_for("hi"), report_code=7
+        )
+        return automaton
+
+    def test_xml_structure(self, sample):
+        text = automaton_to_anml_xml(sample)
+        assert "<automata-network" in text
+        assert "state-transition-element" in text
+        assert 'symbol-set="*"' in text
+        assert 'reportcode="7"' in text
+
+    def test_roundtrip_preserves_semantics(self, sample):
+        clone = automaton_from_anml_xml(automaton_to_anml_xml(sample))
+        data = b"hi there hi"
+        assert (
+            run_automaton(clone, data).report_set
+            == run_automaton(sample, data).report_set
+        )
+
+    def test_roundtrip_preserves_structure(self, sample):
+        clone = automaton_from_anml_xml(automaton_to_anml_xml(sample))
+        assert clone.num_states == sample.num_states
+        assert sorted(clone.edges()) == sorted(sample.edges())
+        assert clone.state(0).start is StartKind.ALL_INPUT
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), data_seed=st.integers(0, 10_000))
+    def test_roundtrip_property(self, seed, data_seed):
+        automaton = random_ruleset_automaton(seed, num_patterns=4)
+        clone = automaton_from_anml_xml(automaton_to_anml_xml(automaton))
+        data = random_input(data_seed, length=60)
+        assert (
+            run_automaton(clone, data).report_set
+            == run_automaton(automaton, data).report_set
+        )
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(AutomatonError, match="malformed"):
+            automaton_from_anml_xml("<not-closed")
+        with pytest.raises(AutomatonError, match="expected"):
+            automaton_from_anml_xml("<wrong-root/>")
+
+    def test_unknown_activation_target_rejected(self):
+        text = (
+            '<automata-network id="x">'
+            '<state-transition-element id="a" symbol-set="a" start="all-input">'
+            '<activate-on-match element="ghost"/>'
+            "</state-transition-element></automata-network>"
+        )
+        with pytest.raises(AutomatonError, match="unknown STE"):
+            automaton_from_anml_xml(text)
+
+    def test_duplicate_ids_rejected(self):
+        text = (
+            '<automata-network id="x">'
+            '<state-transition-element id="a" symbol-set="a" start="all-input"/>'
+            '<state-transition-element id="a" symbol-set="b"/>'
+            "</automata-network>"
+        )
+        with pytest.raises(AutomatonError, match="duplicate"):
+            automaton_from_anml_xml(text)
+
+    def test_import_hand_written_anml(self):
+        """A hand-written ANML fragment in Micron's idiom."""
+        text = """<?xml version="1.0"?>
+        <automata-network id="demo">
+          <state-transition-element id="q0" symbol-set="*" start="all-input">
+            <activate-on-match element="q0"/>
+            <activate-on-match element="q1"/>
+          </state-transition-element>
+          <state-transition-element id="q1" symbol-set="[Aa]" start="start-of-data">
+            <activate-on-match element="q2"/>
+          </state-transition-element>
+          <state-transition-element id="q2" symbol-set="[Bb]">
+            <report-on-match reportcode="3"/>
+          </state-transition-element>
+        </automata-network>
+        """
+        automaton = automaton_from_anml_xml(text)
+        reports = run_automaton(automaton, b"xxaB").report_set
+        assert {(r.offset, r.code) for r in reports} == {(3, 3)}

@@ -1,0 +1,134 @@
+"""Unit tests for the 256-symbol character class."""
+
+import pytest
+
+from repro.automata.charclass import ALPHABET_SIZE, CharClass
+from repro.errors import AutomatonError
+
+
+class TestConstruction:
+    def test_empty_by_default(self):
+        assert len(CharClass()) == 0
+        assert not CharClass()
+
+    def test_from_ints_and_chars(self):
+        klass = CharClass([97, "b", 0])
+        assert "a" in klass
+        assert ord("b") in klass
+        assert 0 in klass
+        assert len(klass) == 3
+
+    def test_single(self):
+        klass = CharClass.single("x")
+        assert list(klass) == [ord("x")]
+
+    def test_full_has_all_symbols(self):
+        full = CharClass.full()
+        assert len(full) == ALPHABET_SIZE
+        assert full.is_full()
+        assert 0 in full and 255 in full
+
+    def test_range_inclusive(self):
+        klass = CharClass.range("a", "c")
+        assert sorted(klass) == [97, 98, 99]
+
+    def test_range_single_symbol(self):
+        assert list(CharClass.range(5, 5)) == [5]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(AutomatonError):
+            CharClass.range("c", "a")
+
+    def test_from_string_deduplicates(self):
+        assert len(CharClass.from_string("aab")) == 2
+
+    def test_from_mask_validates_bounds(self):
+        with pytest.raises(AutomatonError):
+            CharClass.from_mask(1 << 256)
+        with pytest.raises(AutomatonError):
+            CharClass.from_mask(-1)
+
+    def test_symbol_out_of_range_rejected(self):
+        with pytest.raises(AutomatonError):
+            CharClass([256])
+        with pytest.raises(AutomatonError):
+            CharClass(["ab"])
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert CharClass("ab") | CharClass("bc") == CharClass("abc")
+
+    def test_intersection(self):
+        assert CharClass("ab") & CharClass("bc") == CharClass("b")
+
+    def test_difference(self):
+        assert CharClass("abc") - CharClass("b") == CharClass("ac")
+
+    def test_symmetric_difference(self):
+        assert CharClass("ab") ^ CharClass("bc") == CharClass("ac")
+
+    def test_complement_roundtrip(self):
+        klass = CharClass("qz")
+        assert klass.complement().complement() == klass
+        assert klass.complement().isdisjoint(klass)
+        assert len(klass) + len(klass.complement()) == ALPHABET_SIZE
+
+    def test_subset(self):
+        assert CharClass("a").issubset(CharClass("ab"))
+        assert not CharClass("ac").issubset(CharClass("ab"))
+
+    def test_disjoint(self):
+        assert CharClass("ab").isdisjoint(CharClass("cd"))
+        assert not CharClass("ab").isdisjoint(CharClass("bc"))
+
+
+class TestProtocols:
+    def test_equality_and_hash_by_value(self):
+        assert CharClass("ab") == CharClass("ba")
+        assert hash(CharClass("ab")) == hash(CharClass("ba"))
+        assert CharClass("ab") != CharClass("ac")
+
+    def test_not_equal_to_other_types(self):
+        assert CharClass("a") != "a"
+
+    def test_contains_rejects_other_types_quietly(self):
+        assert None not in CharClass("a")
+
+    def test_iteration_is_sorted(self):
+        symbols = list(CharClass([200, 5, 97]))
+        assert symbols == sorted(symbols) == [5, 97, 200]
+
+    def test_symbols_tuple(self):
+        assert CharClass("ba").symbols() == (97, 98)
+
+    def test_sample_lowest(self):
+        assert CharClass([9, 3, 7]).sample() == 3
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(AutomatonError):
+            CharClass().sample()
+
+
+class TestIntervalsAndSpec:
+    def test_intervals_merges_runs(self):
+        klass = CharClass([1, 2, 3, 7, 10, 11])
+        assert klass.intervals() == [(1, 3), (7, 7), (10, 11)]
+
+    def test_intervals_empty(self):
+        assert CharClass().intervals() == []
+
+    def test_spec_star_for_full(self):
+        assert CharClass.full().spec() == "*"
+
+    def test_spec_empty(self):
+        assert CharClass().spec() == "[]"
+
+    def test_spec_range_rendering(self):
+        assert CharClass.range("a", "f").spec() == "[a-f]"
+
+    def test_spec_nonprintable_uses_hex(self):
+        assert "\\x00" in CharClass([0]).spec()
+
+    def test_repr_roundtrips_spec(self):
+        assert "a-c" in repr(CharClass.range("a", "c"))

@@ -1,0 +1,225 @@
+"""Unit tests for the functional executor (the VASim substitute)."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.automata.execution import (
+    CompiledAutomaton,
+    FlowExecution,
+    Report,
+    run_automaton,
+)
+
+
+def literal_automaton(text, **kwargs):
+    automaton = Automaton(f"lit-{text}")
+    builder.literal(automaton, text, **kwargs)
+    return automaton
+
+
+class TestAnchoredMatching:
+    def test_match_at_start(self):
+        result = run_automaton(literal_automaton("abc"), b"abcxx")
+        assert {r.offset for r in result.report_set} == {2}
+
+    def test_anchored_does_not_match_later(self):
+        result = run_automaton(literal_automaton("abc"), b"xabc")
+        assert not result.report_set
+
+    def test_no_match(self):
+        result = run_automaton(literal_automaton("abc"), b"abd")
+        assert not result.report_set
+
+    def test_report_carries_code(self):
+        automaton = literal_automaton("ab", report_code=99)
+        result = run_automaton(automaton, b"ab")
+        (report,) = result.report_set
+        assert report.code == 99
+        assert report.offset == 1
+
+
+class TestUnanchoredMatching:
+    @pytest.fixture
+    def hub_automaton(self):
+        automaton = Automaton("hub")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(
+            automaton, hub, builder.classes_for("abc"), report_code=1
+        )
+        return automaton
+
+    def test_matches_at_every_occurrence(self, hub_automaton):
+        result = run_automaton(hub_automaton, b"abc-abc-abc")
+        assert sorted(r.offset for r in result.report_set) == [2, 6, 10]
+
+    def test_overlapping_matches(self):
+        automaton = Automaton()
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("aa"))
+        result = run_automaton(automaton, b"aaaa")
+        assert sorted(r.offset for r in result.report_set) == [1, 2, 3]
+
+    def test_all_input_chain_without_hub(self):
+        automaton = Automaton()
+        builder.unanchored(automaton, builder.classes_for("ab"))
+        result = run_automaton(automaton, b"zabzab")
+        assert sorted(r.offset for r in result.report_set) == [2, 5]
+
+
+class TestStepSemantics:
+    def test_start_of_data_enabled_only_first_symbol(self):
+        automaton = literal_automaton("a")
+        result = run_automaton(automaton, b"aa")
+        assert {r.offset for r in result.report_set} == {0}
+
+    def test_multiple_start_states_race(self):
+        automaton = Automaton()
+        builder.literal(automaton, "ax", report_code=1)
+        builder.literal(automaton, "ay", report_code=2)
+        result = run_automaton(automaton, b"ay")
+        assert {r.code for r in result.report_set} == {2}
+
+    def test_nondeterministic_fanout(self):
+        # One state fans out to two successors with overlapping labels.
+        automaton = Automaton()
+        head = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        left = automaton.add_state(CharClass("bc"), reporting=True, report_code=1)
+        right = automaton.add_state(CharClass("cd"), reporting=True, report_code=2)
+        automaton.add_edges(head, [left, right])
+        result = run_automaton(automaton, b"ac")
+        assert {r.code for r in result.report_set} == {1, 2}
+
+    def test_final_current_is_matched_set(self):
+        automaton = literal_automaton("ab")
+        result = run_automaton(automaton, b"ab")
+        assert result.final_current == frozenset({1})
+
+    def test_transitions_counter(self):
+        automaton = literal_automaton("ab")
+        result = run_automaton(automaton, b"ab")
+        assert result.transitions == 2  # 'a' matched, then 'b'
+
+    def test_base_offset_shifts_reports(self):
+        automaton = Automaton()
+        builder.unanchored(automaton, builder.classes_for("b"))
+        result = run_automaton(automaton, b"ab", base_offset=100)
+        assert {r.offset for r in result.report_set} == {101}
+
+    def test_empty_input(self):
+        result = run_automaton(literal_automaton("a"), b"")
+        assert not result.reports
+        assert result.final_current == frozenset()
+
+
+class TestFlowExecution:
+    def test_incremental_equals_batch(self):
+        automaton = Automaton()
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("abab"))
+        compiled = CompiledAutomaton(automaton)
+        data = b"xababab"
+
+        batch = FlowExecution(compiled)
+        batch.run(data)
+
+        inc = FlowExecution(compiled)
+        inc.run(data[:3], 0)
+        inc.run(data[3:], 3)
+
+        assert inc.state_vector() == batch.state_vector()
+        assert inc.reports == batch.reports
+
+    def test_initial_current_seeds_execution(self):
+        automaton = literal_automaton("abc")
+        compiled = CompiledAutomaton(automaton)
+        # Seed as if 'a' (state 0) just matched; disable start-of-data.
+        flow = FlowExecution(
+            compiled, initial_current=[0], one_shot=frozenset()
+        )
+        flow.run(b"bc", base_offset=1)
+        assert {r.offset for r in flow.reports} == {2}
+
+    def test_one_shot_override_suppresses_start(self):
+        automaton = literal_automaton("abc")
+        compiled = CompiledAutomaton(automaton)
+        flow = FlowExecution(compiled, one_shot=frozenset())
+        flow.run(b"abc")
+        assert not flow.reports
+
+    def test_persistent_override(self):
+        automaton = literal_automaton("ab")
+        compiled = CompiledAutomaton(automaton)
+        # Persistently enable the 'a' head: matches restart at any offset.
+        flow = FlowExecution(
+            compiled, persistent=frozenset({0}), one_shot=frozenset()
+        )
+        flow.run(b"abxab")
+        assert sorted(r.offset for r in flow.reports) == [1, 4]
+
+    def test_excluded_states_never_enter_current(self):
+        automaton = Automaton()
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("ab"))
+        compiled = CompiledAutomaton(automaton)
+        flow = FlowExecution(
+            compiled,
+            persistent=frozenset(),
+            one_shot=frozenset(),
+            initial_current=[hub],
+            excluded=frozenset({hub}),
+        )
+        flow.run(b"ab")
+        # The hub fed the chain on the first step but was itself dropped
+        # from every subsequent current set.
+        assert hub not in flow.current
+        assert flow.state_vector() == frozenset({2})  # the 'b' tail
+
+    def test_is_dead_lifecycle(self):
+        automaton = literal_automaton("ab")
+        compiled = CompiledAutomaton(automaton)
+        flow = FlowExecution(compiled)
+        assert not flow.is_dead()  # one-shot start still pending
+        flow.step(ord("z"), 0)
+        assert flow.is_dead()  # start consumed, current empty
+
+    def test_persistent_flow_never_dead(self):
+        automaton = Automaton()
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("ab"))
+        compiled = CompiledAutomaton(automaton)
+        flow = FlowExecution(compiled)
+        flow.run(b"zzzz")
+        assert not flow.is_dead()
+
+    def test_clone_is_independent(self):
+        automaton = literal_automaton("ab")
+        compiled = CompiledAutomaton(automaton)
+        flow = FlowExecution(compiled)
+        flow.step(ord("a"), 0)
+        twin = flow.clone()
+        twin.step(ord("b"), 1)
+        assert twin.reports and not flow.reports
+        assert flow.state_vector() == frozenset({0})
+
+
+class TestReportValue:
+    def test_reports_are_ordered_and_hashable(self):
+        first = Report(offset=1, element=2, code=3)
+        second = Report(offset=2, element=0, code=0)
+        assert first < second
+        assert len({first, second, first}) == 2
+
+    def test_report_set_deduplicates(self):
+        # Two STE copies of one accepting state may report the same code
+        # at the same offset; dedup happens at the Report level only when
+        # elements are equal.
+        automaton = Automaton()
+        builder.literal(automaton, "a", report_code=5)
+        builder.literal(automaton, "a", report_code=5)
+        result = run_automaton(automaton, b"a")
+        assert len(result.reports) == 2
+        assert len(result.report_set) == 2  # distinct elements

@@ -1,0 +1,133 @@
+"""Tests for Hopcroft DFA minimization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.charclass import CharClass
+from repro.automata.dfa import subset_construction
+from repro.automata.minimize import minimize
+from repro.automata.nfa import Nfa
+
+
+def unanchored_literal(text: bytes) -> Nfa:
+    nfa = Nfa()
+    start = nfa.add_state(start=True)
+    nfa.add_transition(start, CharClass.full(), start)
+    previous = start
+    for index, byte in enumerate(text):
+        state = nfa.add_state(accept=index == len(text) - 1)
+        nfa.add_transition(previous, CharClass.single(byte), state)
+        previous = state
+    return nfa
+
+
+def alternation(words: list[bytes]) -> Nfa:
+    nfa = Nfa()
+    start = nfa.add_state(start=True)
+    for word in words:
+        previous = start
+        for index, byte in enumerate(word):
+            state = nfa.add_state(accept=index == len(word) - 1)
+            nfa.add_transition(previous, CharClass.single(byte), state)
+            previous = state
+    return nfa
+
+
+class TestMinimize:
+    def test_removes_duplicate_suffix_states(self):
+        # ab|cb: the two 'b' tails are equivalent.
+        dfa = subset_construction(alternation([b"ab", b"cb"]))
+        minimal = minimize(dfa)
+        assert minimal.num_states < dfa.num_states
+
+    def test_language_preserved_exhaustively(self):
+        nfa = alternation([b"ab", b"cb", b"ad"])
+        dfa = subset_construction(nfa)
+        minimal = minimize(dfa)
+        for first in b"abcdx":
+            for second in b"abcdx":
+                word = bytes([first, second])
+                assert minimal.accepts(word) == dfa.accepts(word), word
+
+    def test_report_stream_preserved(self):
+        nfa = unanchored_literal(b"aba")
+        dfa = subset_construction(nfa)
+        minimal = minimize(dfa)
+        rng = random.Random(0)
+        for _ in range(20):
+            data = bytes(rng.choice(b"abx") for _ in range(40))
+            assert minimal.run(data) == dfa.run(data)
+
+    def test_idempotent(self):
+        dfa = subset_construction(unanchored_literal(b"abc"))
+        once = minimize(dfa)
+        twice = minimize(once)
+        assert twice.num_states == once.num_states
+
+    def test_already_minimal_untouched(self):
+        # The sliding-window DFA for .*a.{2}z is already minimal-ish;
+        # minimization must never grow it.
+        nfa = Nfa()
+        start = nfa.add_state(start=True)
+        nfa.add_transition(start, CharClass.full(), start)
+        previous = start
+        for index, label in enumerate(
+            [CharClass.single("a"), CharClass.full(), CharClass.single("z")]
+        ):
+            state = nfa.add_state(accept=index == 2)
+            nfa.add_transition(previous, label, state)
+            previous = state
+        dfa = subset_construction(nfa)
+        minimal = minimize(dfa)
+        assert minimal.num_states <= dfa.num_states
+
+    def test_initial_state_is_zero(self):
+        dfa = subset_construction(alternation([b"ab", b"cb"]))
+        minimal = minimize(dfa)
+        assert not minimal.accepting[0]
+        assert minimal.accepts(b"ab")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        words=st.lists(
+            st.binary(min_size=1, max_size=3).map(
+                lambda raw: bytes(b"abc"[x % 3] for x in raw)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        probe_seed=st.integers(0, 10_000),
+    )
+    def test_property_language_equivalence(self, words, probe_seed):
+        dfa = subset_construction(alternation(words))
+        minimal = minimize(dfa)
+        assert minimal.num_states <= dfa.num_states
+        rng = random.Random(probe_seed)
+        for _ in range(30):
+            probe = bytes(rng.choice(b"abcx") for _ in range(rng.randrange(6)))
+            assert minimal.accepts(probe) == dfa.accepts(probe), probe
+
+    def test_minimality_vs_bruteforce_distinct_behaviors(self):
+        """No two states of the minimized DFA behave identically on all
+        short probes (a necessary minimality condition)."""
+        dfa = minimize(subset_construction(alternation([b"ab", b"cb", b"cd"])))
+        probes = [
+            bytes(word)
+            for length in range(4)
+            for word in __import__("itertools").product(b"abcdx", repeat=length)
+        ]
+
+        def behavior(state):
+            signature = []
+            for probe in probes:
+                current = state
+                for symbol in probe:
+                    current = dfa.step(current, symbol)
+                signature.append(dfa.accepting[current])
+            return tuple(signature)
+
+        behaviors = [behavior(s) for s in range(dfa.num_states)]
+        assert len(set(behaviors)) == dfa.num_states

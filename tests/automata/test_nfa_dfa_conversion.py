@@ -1,0 +1,215 @@
+"""Tests for classic NFAs, subset construction, and ANML conversion —
+including three-way semantic equivalence."""
+
+import random
+
+import pytest
+
+from repro.automata.charclass import CharClass
+from repro.automata.conversion import nfa_to_anml
+from repro.automata.dfa import subset_construction, symbol_partition
+from repro.automata.execution import run_automaton
+from repro.automata.nfa import Nfa
+from repro.errors import AutomatonError, CapacityError
+
+
+def build_unanchored_literal(text: bytes) -> Nfa:
+    """Classic NFA for .*text with a self-loop start."""
+    nfa = Nfa(name=f"nfa-{text!r}")
+    start = nfa.add_state(start=True)
+    nfa.add_transition(start, CharClass.full(), start)
+    previous = start
+    for index, byte in enumerate(text):
+        state = nfa.add_state(accept=index == len(text) - 1)
+        nfa.add_transition(previous, CharClass.single(byte), state)
+        previous = state
+    return nfa
+
+
+class TestNfaBasics:
+    def test_run_reports_offsets(self):
+        nfa = build_unanchored_literal(b"ab")
+        offsets = sorted({offset for offset, _ in nfa.run(b"abab")})
+        assert offsets == [1, 3]
+
+    def test_accepts_whole_string(self):
+        nfa = build_unanchored_literal(b"ab")
+        assert nfa.accepts(b"zzab")
+        assert not nfa.accepts(b"abz")
+
+    def test_empty_label_rejected(self):
+        nfa = Nfa()
+        a, b = nfa.add_state(start=True), nfa.add_state()
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(a, CharClass(), b)
+
+    def test_unknown_state_rejected(self):
+        nfa = Nfa()
+        nfa.add_state(start=True)
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, CharClass.single("a"), 5)
+
+    def test_used_symbols(self):
+        nfa = Nfa()
+        a, b = nfa.add_state(start=True), nfa.add_state()
+        nfa.add_transition(a, CharClass("xy"), b)
+        assert nfa.used_symbols() == CharClass("xy")
+
+
+class TestEpsilon:
+    @pytest.fixture
+    def epsilon_nfa(self):
+        # start --eps--> mid --a--> end(accept); also start --b--> end
+        nfa = Nfa()
+        start = nfa.add_state(start=True)
+        mid = nfa.add_state()
+        end = nfa.add_state(accept=True)
+        nfa.add_epsilon(start, mid)
+        nfa.add_transition(mid, CharClass.single("a"), end)
+        nfa.add_transition(start, CharClass.single("b"), end)
+        return nfa
+
+    def test_closure(self, epsilon_nfa):
+        assert epsilon_nfa.epsilon_closure({0}) == frozenset({0, 1})
+
+    def test_run_follows_epsilon(self, epsilon_nfa):
+        assert epsilon_nfa.accepts(b"a")
+        assert epsilon_nfa.accepts(b"b")
+        assert not epsilon_nfa.accepts(b"c")
+
+    def test_without_epsilon_equivalent(self, epsilon_nfa):
+        flat = epsilon_nfa.without_epsilon()
+        assert not flat.has_epsilon()
+        for text in (b"a", b"b", b"ab", b"", b"c"):
+            assert flat.accepts(text) == epsilon_nfa.accepts(text)
+
+    def test_epsilon_into_accept_marks_accepting(self):
+        nfa = Nfa()
+        start = nfa.add_state(start=True)
+        mid = nfa.add_state()
+        end = nfa.add_state(accept=True)
+        nfa.add_transition(start, CharClass.single("a"), mid)
+        nfa.add_epsilon(mid, end)
+        flat = nfa.without_epsilon()
+        assert flat.accepts(b"a")
+        assert mid in flat.accept_states
+
+
+class TestSymbolPartition:
+    def test_partition_covers_alphabet(self):
+        nfa = build_unanchored_literal(b"ab")
+        classes, symbol_class = symbol_partition(nfa)
+        assert sum(len(klass) for klass in classes) == 256
+        assert len(symbol_class) == 256
+        for index, klass in enumerate(classes):
+            for symbol in klass:
+                assert symbol_class[symbol] == index
+
+    def test_distinguishable_symbols_split(self):
+        nfa = build_unanchored_literal(b"ab")
+        classes, _ = symbol_partition(nfa)
+        # a, b, and everything-else: exactly 3 classes.
+        assert len(classes) == 3
+
+
+class TestSubsetConstruction:
+    def test_dfa_matches_nfa_reports(self):
+        nfa = build_unanchored_literal(b"aba")
+        dfa = subset_construction(nfa)
+        data = b"abababa-aba"
+        assert dfa.run(data) == sorted({o for o, _ in nfa.run(data)})
+
+    def test_dfa_accepts_matches_nfa(self):
+        nfa = build_unanchored_literal(b"ab")
+        dfa = subset_construction(nfa)
+        rng = random.Random(7)
+        for _ in range(50):
+            text = bytes(rng.choice(b"abz") for _ in range(rng.randrange(8)))
+            assert dfa.accepts(text) == nfa.accepts(text)
+
+    def test_capacity_guard(self):
+        nfa = build_unanchored_literal(b"abcabc")
+        with pytest.raises(CapacityError):
+            subset_construction(nfa, max_states=2)
+
+    def test_exponential_blowup_exists(self):
+        # .*a.{n} forces the DFA to remember n bits: > 2^n states.
+        n = 6
+        nfa = Nfa()
+        start = nfa.add_state(start=True)
+        nfa.add_transition(start, CharClass.full(), start)
+        previous = start
+        chain = [CharClass.single("a")] + [CharClass.full()] * n
+        for index, label in enumerate(chain):
+            state = nfa.add_state(accept=index == len(chain) - 1)
+            nfa.add_transition(previous, label, state)
+            previous = state
+        dfa = subset_construction(nfa)
+        assert dfa.num_states > 2**n
+
+
+class TestAnmlConversion:
+    def test_conversion_preserves_reports(self):
+        nfa = build_unanchored_literal(b"abc")
+        automaton = nfa_to_anml(nfa)
+        data = b"xxabcxabc"
+        anml_reports = {
+            (r.offset, r.code)
+            for r in run_automaton(automaton, data).report_set
+        }
+        assert anml_reports == set(nfa.run(data))
+
+    def test_conversion_random_equivalence(self):
+        rng = random.Random(3)
+        for trial in range(15):
+            nfa = Nfa(name=f"rand{trial}")
+            count = rng.randint(2, 6)
+            for index in range(count):
+                nfa.add_state(
+                    start=index == 0 or rng.random() < 0.2,
+                    accept=rng.random() < 0.4,
+                )
+            for _ in range(rng.randint(1, 12)):
+                src, dst = rng.randrange(count), rng.randrange(count)
+                label = CharClass(rng.sample(list(b"abc"), rng.randint(1, 2)))
+                nfa.add_transition(src, label, dst)
+            if nfa.start_states & nfa.accept_states:
+                continue  # empty-match shapes are rejected by design
+            automaton = nfa_to_anml(nfa)
+            data = bytes(rng.choice(b"abc") for _ in range(30))
+            anml_reports = {
+                (r.offset, r.code)
+                for r in run_automaton(automaton, data).report_set
+            }
+            assert anml_reports == set(nfa.run(data)), f"trial {trial}"
+
+    def test_accepting_start_rejected(self):
+        nfa = Nfa()
+        both = nfa.add_state(start=True, accept=True)
+        other = nfa.add_state()
+        nfa.add_transition(both, CharClass.single("a"), other)
+        with pytest.raises(AutomatonError, match="empty match"):
+            nfa_to_anml(nfa)
+
+    def test_conversion_splits_by_incoming_class(self):
+        # q reached on [a] from p1 and on [b] from p2 -> two STE copies.
+        nfa = Nfa()
+        p1 = nfa.add_state(start=True)
+        p2 = nfa.add_state(start=True)
+        q = nfa.add_state(accept=True)
+        nfa.add_transition(p1, CharClass.single("a"), q)
+        nfa.add_transition(p2, CharClass.single("b"), q)
+        automaton = nfa_to_anml(nfa)
+        copies = [s for s in automaton.states() if s.report_code == q]
+        assert len(copies) == 2
+
+    def test_conversion_eliminates_epsilon_first(self):
+        nfa = Nfa()
+        start = nfa.add_state(start=True)
+        mid = nfa.add_state()
+        end = nfa.add_state(accept=True)
+        nfa.add_epsilon(start, mid)
+        nfa.add_transition(mid, CharClass.single("a"), end)
+        automaton = nfa_to_anml(nfa)
+        reports = run_automaton(automaton, b"a").report_set
+        assert {r.offset for r in reports} == {0}

@@ -1,0 +1,116 @@
+"""Unit tests for common-prefix merging."""
+
+import random
+
+from repro.automata import builder
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.automata.execution import run_automaton
+from repro.automata.prefix_merge import compression_ratio, merge_common_prefixes
+from repro.automata.random_gen import random_input, random_ruleset_automaton
+
+
+def ruleset(*patterns, anchored=True):
+    automaton = Automaton("rules")
+    for code, pattern in enumerate(patterns):
+        builder.literal(
+            automaton,
+            pattern,
+            start=(
+                StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+            ),
+            report_code=code,
+        )
+    return automaton
+
+
+class TestMerging:
+    def test_shared_prefix_is_merged(self):
+        automaton = ruleset("abcd", "abce")
+        merged = merge_common_prefixes(automaton)
+        # 'a','b','c' shared (3 states) + two distinct tails = 5.
+        assert merged.num_states == 5
+
+    def test_disjoint_patterns_untouched(self):
+        automaton = ruleset("abc", "xyz")
+        merged = merge_common_prefixes(automaton)
+        assert merged.num_states == automaton.num_states
+
+    def test_identical_nonreporting_chains_fully_merge(self):
+        automaton = Automaton()
+        builder.literal(automaton, "abc", report_code=1)
+        builder.literal(automaton, "abc", report_code=1)
+        merged = merge_common_prefixes(automaton)
+        assert merged.num_states == 3
+
+    def test_distinct_report_codes_not_merged(self):
+        automaton = ruleset("ab", "ab")  # codes 0 and 1
+        merged = merge_common_prefixes(automaton)
+        # Prefix 'a' merges; the two reporting 'b' tails must survive.
+        assert merged.num_states == 3
+        assert len(merged.reporting_states()) == 2
+
+    def test_star_hubs_merge(self):
+        automaton = Automaton()
+        for _ in range(3):
+            hub = builder.star_self_loop(automaton)
+            builder.attach_pattern(automaton, hub, builder.classes_for("ab"))
+        merged = merge_common_prefixes(automaton)
+        analysis_states = [
+            s for s in merged.states() if s.label == CharClass.full()
+        ]
+        assert len(analysis_states) == 1
+
+    def test_different_start_kinds_not_merged(self):
+        automaton = Automaton()
+        builder.literal(automaton, "ab", start=StartKind.START_OF_DATA)
+        builder.literal(automaton, "ab", start=StartKind.ALL_INPUT)
+        merged = merge_common_prefixes(automaton)
+        assert merged.num_states == automaton.num_states
+
+
+class TestSemanticsPreserved:
+    def test_report_stream_preserved_on_literals(self):
+        automaton = ruleset("abcd", "abce", "abxy", "zz")
+        merged = merge_common_prefixes(automaton)
+        for data in (b"abcd", b"abce", b"abxy", b"zz", b"abcz", b"aaaa"):
+            original = {
+                (r.offset, r.code) for r in run_automaton(automaton, data).reports
+            }
+            kept = {
+                (r.offset, r.code) for r in run_automaton(merged, data).reports
+            }
+            assert original == kept, data
+
+    def test_report_stream_preserved_on_random_rulesets(self):
+        rng = random.Random(11)
+        for trial in range(10):
+            automaton = random_ruleset_automaton(rng, num_patterns=6)
+            merged = merge_common_prefixes(automaton)
+            data = random_input(rng, length=80)
+            original = {
+                (r.offset, r.code)
+                for r in run_automaton(automaton, data).report_set
+            }
+            kept = {
+                (r.offset, r.code)
+                for r in run_automaton(merged, data).report_set
+            }
+            assert original == kept, f"trial {trial}"
+
+    def test_merge_is_idempotent(self):
+        automaton = ruleset("abcd", "abce", "abxy")
+        once = merge_common_prefixes(automaton)
+        twice = merge_common_prefixes(once)
+        assert twice.num_states == once.num_states
+
+
+class TestCompressionRatio:
+    def test_ratio_computation(self):
+        automaton = ruleset("abcd", "abce")
+        merged = merge_common_prefixes(automaton)
+        assert compression_ratio(automaton, merged) == 1 - 5 / 8
+
+    def test_ratio_empty_automaton(self):
+        empty = Automaton()
+        assert compression_ratio(empty, empty) == 0.0

@@ -1,0 +1,140 @@
+"""Property-based tests on the automata substrate's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.charclass import ALPHABET_SIZE, CharClass
+from repro.automata.execution import run_automaton
+from repro.automata.prefix_merge import merge_common_prefixes
+from repro.automata.random_gen import random_input, random_ruleset_automaton
+from repro.automata.serialization import loads, dumps
+
+symbol_sets = st.frozensets(
+    st.integers(0, ALPHABET_SIZE - 1), max_size=12
+)
+
+
+class TestCharClassAlgebra:
+    @settings(max_examples=100)
+    @given(a=symbol_sets, b=symbol_sets)
+    def test_operations_match_set_semantics(self, a, b):
+        ca, cb = CharClass(a), CharClass(b)
+        assert set(ca | cb) == a | b
+        assert set(ca & cb) == a & b
+        assert set(ca - cb) == a - b
+        assert set(ca ^ cb) == a ^ b
+
+    @settings(max_examples=100)
+    @given(a=symbol_sets)
+    def test_complement_involution(self, a):
+        klass = CharClass(a)
+        assert klass.complement().complement() == klass
+        assert len(klass) + len(klass.complement()) == ALPHABET_SIZE
+
+    @settings(max_examples=100)
+    @given(a=symbol_sets)
+    def test_intervals_partition_membership(self, a):
+        klass = CharClass(a)
+        covered = set()
+        for low, high in klass.intervals():
+            assert low <= high
+            covered.update(range(low, high + 1))
+        assert covered == a
+
+    @settings(max_examples=50)
+    @given(a=symbol_sets, b=symbol_sets)
+    def test_subset_consistency(self, a, b):
+        assert CharClass(a).issubset(CharClass(b)) == (a <= b)
+        assert CharClass(a).isdisjoint(CharClass(b)) == a.isdisjoint(b)
+
+
+class TestPrefixMergeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), data_seed=st.integers(0, 10_000))
+    def test_merge_preserves_report_sets(self, seed, data_seed):
+        automaton = random_ruleset_automaton(seed, num_patterns=6)
+        merged = merge_common_prefixes(automaton)
+        assert merged.num_states <= automaton.num_states
+        data = random_input(data_seed, length=100)
+        before = {
+            (r.offset, r.code)
+            for r in run_automaton(automaton, data).report_set
+        }
+        after = {
+            (r.offset, r.code)
+            for r in run_automaton(merged, data).report_set
+        }
+        assert before == after
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_merge_is_idempotent(self, seed):
+        automaton = random_ruleset_automaton(seed, num_patterns=6)
+        once = merge_common_prefixes(automaton)
+        twice = merge_common_prefixes(once)
+        assert twice.num_states == once.num_states
+
+
+class TestSerializationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), data_seed=st.integers(0, 10_000))
+    def test_roundtrip_preserves_semantics(self, seed, data_seed):
+        automaton = random_ruleset_automaton(seed, num_patterns=4)
+        clone = loads(dumps(automaton))
+        data = random_input(data_seed, length=80)
+        assert (
+            run_automaton(clone, data).report_set
+            == run_automaton(automaton, data).report_set
+        )
+
+
+class TestUnionLinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed_a=st.integers(0, 5_000),
+        seed_b=st.integers(0, 5_000),
+        data_seed=st.integers(0, 5_000),
+    )
+    def test_union_reports_are_union_of_reports(
+        self, seed_a, seed_b, data_seed
+    ):
+        """Disjoint union = run both machines: the linearity property
+        the whole enumeration scheme rests on."""
+        left = random_ruleset_automaton(seed_a, num_patterns=3)
+        right = random_ruleset_automaton(seed_b, num_patterns=3)
+        union = left.union(right)
+        data = random_input(data_seed, length=80)
+
+        left_reports = {
+            (r.offset, r.element) for r in run_automaton(left, data).reports
+        }
+        right_reports = {
+            (r.offset, r.element + len(left))
+            for r in run_automaton(right, data).reports
+        }
+        union_reports = {
+            (r.offset, r.element) for r in run_automaton(union, data).reports
+        }
+        assert union_reports == left_reports | right_reports
+
+
+class TestRandomGenerators:
+    def test_random_automaton_always_has_starts(self):
+        for seed in range(25):
+            automaton = random_automaton_checked(seed)
+            assert automaton.start_states()
+
+    def test_ruleset_reports_have_pattern_codes(self):
+        automaton = random_ruleset_automaton(3, num_patterns=5)
+        codes = {s.code for s in automaton.states() if s.reporting}
+        assert codes <= set(range(5))
+
+
+def random_automaton_checked(seed):
+    from repro.automata.random_gen import random_automaton
+
+    automaton = random_automaton(seed)
+    automaton.validate()
+    return automaton

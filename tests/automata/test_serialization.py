@@ -1,0 +1,86 @@
+"""Unit tests for ANML-lite serialization."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.automata.execution import run_automaton
+from repro.automata.random_gen import random_ruleset_automaton
+from repro.automata.serialization import (
+    automaton_from_dict,
+    automaton_to_dict,
+    dumps,
+    loads,
+)
+from repro.errors import AutomatonError
+
+
+@pytest.fixture
+def sample():
+    automaton = Automaton("sample")
+    hub = builder.star_self_loop(automaton)
+    builder.attach_pattern(
+        automaton, hub, builder.classes_for("hi"), report_code=3
+    )
+    return automaton
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, sample):
+        clone = automaton_from_dict(automaton_to_dict(sample))
+        assert clone.num_states == sample.num_states
+        assert sorted(clone.edges()) == sorted(sample.edges())
+        assert clone.name == sample.name
+
+    def test_round_trip_preserves_semantics(self, sample):
+        clone = loads(dumps(sample))
+        data = b"hi there, hi"
+        assert (
+            run_automaton(clone, data).report_set
+            == run_automaton(sample, data).report_set
+        )
+
+    def test_round_trip_random(self):
+        automaton = random_ruleset_automaton(5, num_patterns=4)
+        clone = loads(dumps(automaton))
+        assert automaton_to_dict(clone) == automaton_to_dict(automaton)
+
+    def test_start_kinds_survive(self, sample):
+        clone = loads(dumps(sample))
+        assert clone.state(0).start is StartKind.ALL_INPUT
+
+    def test_report_codes_survive(self, sample):
+        clone = loads(dumps(sample))
+        assert clone.state(2).report_code == 3
+
+    def test_full_label_survives(self, sample):
+        clone = loads(dumps(sample))
+        assert clone.state(0).label == CharClass.full()
+
+    def test_indent_option(self, sample):
+        assert "\n" in dumps(sample, indent=2)
+
+
+class TestValidation:
+    def test_bad_schema_rejected(self):
+        with pytest.raises(AutomatonError, match="schema"):
+            automaton_from_dict({"schema": 99, "states": [], "edges": []})
+
+    def test_non_dense_ids_rejected(self, sample):
+        payload = automaton_to_dict(sample)
+        payload["states"][1]["id"] = 7
+        with pytest.raises(AutomatonError, match="non-dense"):
+            automaton_from_dict(payload)
+
+    def test_dangling_edge_rejected(self, sample):
+        payload = automaton_to_dict(sample)
+        payload["edges"].append([0, 99])
+        with pytest.raises(AutomatonError):
+            automaton_from_dict(payload)
+
+    def test_empty_label_rejected(self, sample):
+        payload = automaton_to_dict(sample)
+        payload["states"][0]["label"] = "0"
+        with pytest.raises(AutomatonError, match="empty label"):
+            automaton_from_dict(payload)

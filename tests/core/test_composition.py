@@ -1,0 +1,217 @@
+"""Unit tests for host-side composition (truth masking, M rebuild)."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.execution import Report
+from repro.ap.events import OutputEvent
+from repro.core.composition import compose_segment, unit_truth_map
+from repro.core.enumeration import EnumerationUnit
+from repro.core.merging import FlowReductionStats, PlannedFlow
+from repro.core.partitioning import InputSegment
+from repro.core.scheduler import ASG_FLOW_ID, GOLDEN_FLOW_ID, SegmentPlan, SegmentResult, SegmentMetrics
+from repro.errors import CompositionError
+
+EMPTY_STATS = FlowReductionStats(0, 0, 0, 0)
+
+
+@pytest.fixture
+def analysis():
+    """Two components: .*ab (states 0..2) and .*cd (states 3..5)."""
+    automaton = Automaton("comp")
+    hub_a = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub_a, builder.classes_for("ab"), report_code=0)
+    hub_b = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub_b, builder.classes_for("cd"), report_code=1)
+    return AutomatonAnalysis(automaton)
+
+
+def make_result(
+    plan,
+    events=(),
+    unit_history=None,
+    final_currents=None,
+    asg_final=frozenset(),
+):
+    return SegmentResult(
+        plan=plan,
+        events=list(events),
+        unit_history=unit_history or {},
+        final_currents=final_currents or {},
+        asg_final=asg_final,
+        metrics=SegmentMetrics(raw_events=len(events)),
+    )
+
+
+def make_plan(units_by_flow, *, golden=False, start=4, end=8):
+    flows = tuple(
+        PlannedFlow(flow_id=flow_id, units=tuple(units))
+        for flow_id, units in units_by_flow.items()
+    )
+    return SegmentPlan(
+        segment=InputSegment(
+            index=0 if golden else 1,
+            start=0 if golden else start,
+            end=end,
+            boundary_symbol=None if golden else ord("a"),
+        ),
+        flows=flows,
+        stats=EMPTY_STATS,
+        asg_initial=frozenset(),
+        is_golden=golden,
+    )
+
+
+def unit(uid, members, component, parent=None):
+    return EnumerationUnit(
+        unit_id=uid, parent=parent, members=frozenset(members), component=component
+    )
+
+
+def event(offset, element, flow_id, code=0):
+    return OutputEvent(
+        offset=offset, report_code=code, element=element, flow_id=flow_id
+    )
+
+
+class TestUnitTruthMap:
+    def test_map_over_flows(self):
+        units = [unit(0, {1}, 0), unit(1, {2, 3}, 0)]
+        plan = make_plan({0: [units[0]], 1: [units[1]]})
+        truth = unit_truth_map(plan.flows, frozenset({1, 2}))
+        assert truth == {0: True, 1: False}
+
+
+class TestGoldenComposition:
+    def test_everything_true(self, analysis):
+        plan = make_plan({}, golden=True)
+        result = make_result(
+            plan,
+            events=[event(3, 2, GOLDEN_FLOW_ID)],
+            final_currents={GOLDEN_FLOW_ID: frozenset({0, 2})},
+        )
+        composed = compose_segment(result, {}, analysis)
+        assert composed.true_reports == frozenset(
+            {Report(offset=3, element=2, code=0)}
+        )
+        assert composed.final_matched == frozenset({0, 2})
+        assert composed.false_events == 0
+
+
+class TestEventFiltering:
+    def test_asg_events_always_true(self, analysis):
+        plan = make_plan({})
+        result = make_result(plan, events=[event(5, 2, ASG_FLOW_ID)])
+        composed = compose_segment(result, {}, analysis)
+        assert len(composed.true_reports) == 1
+
+    def test_true_unit_events_pass(self, analysis):
+        u = unit(0, {1}, component=0)
+        plan = make_plan({0: [u]})
+        result = make_result(
+            plan,
+            events=[event(5, 2, 0)],
+            unit_history={0: [(0, 4)]},
+            final_currents={0: frozenset({2})},
+        )
+        composed = compose_segment(result, {0: True}, analysis)
+        assert {r.offset for r in composed.true_reports} == {5}
+        assert composed.true_events == 1
+
+    def test_false_unit_events_filtered(self, analysis):
+        u = unit(0, {1}, component=0)
+        plan = make_plan({0: [u]})
+        result = make_result(
+            plan,
+            events=[event(5, 2, 0)],
+            unit_history={0: [(0, 4)]},
+            final_currents={0: frozenset({2})},
+        )
+        composed = compose_segment(result, {0: False}, analysis)
+        assert not composed.true_reports
+        assert composed.false_events == 1
+
+    def test_cross_component_masking(self, analysis):
+        # One flow carries a true unit in component 0 and a false unit
+        # in component 1: only component-0 events survive.
+        u_true = unit(0, {1}, component=0)
+        u_false = unit(1, {4}, component=1)
+        plan = make_plan({0: [u_true, u_false]})
+        result = make_result(
+            plan,
+            events=[event(5, 2, 0), event(6, 5, 0, code=1)],
+            unit_history={0: [(0, 4)], 1: [(0, 4)]},
+            final_currents={0: frozenset({2, 5})},
+        )
+        composed = compose_segment(result, {0: True, 1: False}, analysis)
+        assert {r.element for r in composed.true_reports} == {2}
+
+    def test_convergence_threshold_respected(self, analysis):
+        # Unit 1 moved onto flow 0 at offset 6: flow-0 events in its
+        # component count for it only from 6 onward.
+        u_own = unit(0, {1}, component=0)
+        u_moved = unit(1, {4}, component=1)
+        plan = make_plan({0: [u_own], 1: [u_moved]})
+        result = make_result(
+            plan,
+            events=[
+                event(5, 5, 0, code=1),  # before the move: flow 1's comp
+                event(7, 5, 0, code=1),  # after the move
+            ],
+            unit_history={0: [(0, 4)], 1: [(1, 4), (0, 6)]},
+            final_currents={0: frozenset({5}), 1: frozenset()},
+        )
+        composed = compose_segment(result, {0: False, 1: True}, analysis)
+        assert {r.offset for r in composed.true_reports} == {7}
+
+    def test_unknown_unit_in_truth_rejected(self, analysis):
+        plan = make_plan({})
+        result = make_result(plan)
+        with pytest.raises(CompositionError):
+            compose_segment(result, {99: True}, analysis)
+
+
+class TestFinalMatched:
+    def test_union_of_asg_and_true_units(self, analysis):
+        u_true = unit(0, {1}, component=0)
+        u_false = unit(1, {4}, component=1)
+        plan = make_plan({0: [u_true], 1: [u_false]})
+        result = make_result(
+            plan,
+            unit_history={0: [(0, 4)], 1: [(1, 4)]},
+            final_currents={0: frozenset({2}), 1: frozenset({5})},
+            asg_final=frozenset({0, 3}),
+        )
+        composed = compose_segment(
+            result, {0: True, 1: False}, analysis
+        )
+        # ASG hubs + true unit's component-masked current; the false
+        # unit's state 5 is excluded.
+        assert composed.final_matched == frozenset({0, 3, 2})
+
+    def test_unit_rehomed_to_asg_contributes_via_asg_final(self, analysis):
+        u = unit(0, {1}, component=0)
+        plan = make_plan({0: [u]})
+        result = make_result(
+            plan,
+            unit_history={0: [(0, 4), (ASG_FLOW_ID, 6)]},
+            final_currents={0: frozenset()},
+            asg_final=frozenset({0, 2}),
+        )
+        composed = compose_segment(result, {0: True}, analysis)
+        assert composed.final_matched == frozenset({0, 2})
+
+    def test_cross_component_current_masked_out(self, analysis):
+        # A flow's final current includes component-1 states, but its
+        # only true unit is in component 0.
+        u = unit(0, {1}, component=0)
+        plan = make_plan({0: [u]})
+        result = make_result(
+            plan,
+            unit_history={0: [(0, 4)]},
+            final_currents={0: frozenset({2, 5})},
+        )
+        composed = compose_segment(result, {0: True}, analysis)
+        assert composed.final_matched == frozenset({2})

@@ -1,0 +1,97 @@
+"""Unit tests for PAP configuration and run-level metrics."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ap.geometry import FOUR_RANKS, ONE_RANK
+from repro.core.config import DEFAULT_CONFIG, PAPConfig
+from repro.core.pap import ParallelAutomataProcessor
+from repro.errors import ConfigurationError
+from repro.regex.ruleset import compile_ruleset
+
+
+class TestConfig:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.tdm_slice_symbols == 256
+        assert DEFAULT_CONFIG.convergence_period_steps == 10
+        assert DEFAULT_CONFIG.max_flows == 512
+        assert DEFAULT_CONFIG.use_connected_components
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PAPConfig(tdm_slice_symbols=0)
+        with pytest.raises(ConfigurationError):
+            PAPConfig(convergence_period_steps=0)
+        with pytest.raises(ConfigurationError):
+            PAPConfig(early_check_symbols=0)
+        with pytest.raises(ConfigurationError):
+            PAPConfig(max_flows=0)
+
+    def test_with_ranks(self):
+        assert PAPConfig(geometry=ONE_RANK).with_ranks(4).geometry == FOUR_RANKS
+
+    def test_without_optimizations(self):
+        bare = DEFAULT_CONFIG.without_optimizations()
+        assert not bare.use_connected_components
+        assert not bare.use_common_parent
+        assert not bare.use_asg
+        assert not bare.use_convergence
+        assert not bare.use_deactivation
+        assert not bare.use_fiv
+        # Non-optimization knobs untouched.
+        assert bare.tdm_slice_symbols == DEFAULT_CONFIG.tdm_slice_symbols
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.max_flows = 1  # type: ignore[misc]
+
+
+class TestRunMetrics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        automaton, _ = compile_ruleset(["abc", "xy+z"])
+        config = replace(
+            PAPConfig(geometry=ONE_RANK), tdm_slice_symbols=64
+        )
+        pap = ParallelAutomataProcessor(automaton, config=config)
+        data = (b"abc xyz " * 512)[:4096]
+        return pap.run(data)
+
+    def test_total_is_min_of_paths(self, result):
+        assert result.total_cycles == min(
+            result.enumeration_cycles, result.golden_cycles
+        )
+
+    def test_event_accounting(self, result):
+        assert result.raw_events >= result.true_events > 0
+        assert result.event_amplification >= 1.0
+
+    def test_flow_metrics_exposed(self, result):
+        assert result.average_active_flows >= 0
+        assert 0 <= result.switching_overhead < 1
+        assert result.average_tcpu >= 0
+
+    def test_transitions_per_symbol(self, result):
+        assert result.transitions_per_symbol() > 0
+
+    def test_counts_are_aggregates(self, result):
+        assert result.deactivations == sum(
+            r.metrics.deactivations for r in result.segment_results
+        )
+        assert result.convergence_merges >= 0
+        assert result.fiv_invalidations >= 0
+
+    def test_segment_count(self, result):
+        assert result.num_segments == len(result.plans) == 16
+
+    def test_empty_run_metrics(self):
+        automaton, _ = compile_ruleset(["ab"])
+        pap = ParallelAutomataProcessor(automaton)
+        result = pap.run(b"")
+        assert result.total_cycles == 0
+        assert result.average_active_flows == 0.0
+        assert result.switching_overhead == 0.0
+        assert result.event_amplification == 1.0
+        assert result.transitions_per_symbol() == 0.0
+        assert not result.golden_fallback

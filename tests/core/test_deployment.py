@@ -1,0 +1,103 @@
+"""Tests for mapping PAP plans onto the board model."""
+
+import pytest
+
+from repro.ap.device import Board
+from repro.ap.geometry import BoardGeometry
+from repro.core.config import PAPConfig
+from repro.core.deployment import deploy_plan
+from repro.core.pap import ParallelAutomataProcessor
+from repro.errors import CapacityError, PlacementError
+from repro.regex.ruleset import compile_ruleset
+
+TINY = BoardGeometry(ranks=1, devices_per_rank=2, stes_per_half_core=64)
+
+
+@pytest.fixture
+def automaton():
+    compiled, _ = compile_ruleset(["abc", "xyz", "q[rs]t"])
+    return compiled
+
+
+@pytest.fixture
+def pap(automaton):
+    return ParallelAutomataProcessor(
+        automaton, config=PAPConfig(geometry=TINY)
+    )
+
+
+@pytest.fixture
+def trace():
+    return (b"abc xyz qrt " * 64)[:512]
+
+
+class TestDeployPlan:
+    def test_one_replica_per_segment(self, automaton, pap, trace):
+        plan = pap.plan(trace)
+        board = Board(geometry=TINY)
+        deployment = deploy_plan(board, automaton, plan)
+        assert len(deployment.segments) == len(plan.segments)
+        offsets = [s.first_half_core for s in deployment.segments]
+        assert offsets == sorted(set(offsets))
+
+    def test_replicas_programmed(self, automaton, pap, trace):
+        plan = pap.plan(trace)
+        board = Board(geometry=TINY)
+        deployment = deploy_plan(board, automaton, plan)
+        for segment in deployment.segments:
+            half_core = board.half_core(segment.first_half_core)
+            assert half_core.occupancy > 0
+            assert half_core.routing.compiled
+
+    def test_flow_slots_bound_per_device(self, automaton, pap, trace):
+        plan = pap.plan(trace)
+        board = Board(geometry=TINY)
+        deployment = deploy_plan(board, automaton, plan)
+        for segment_deploy, segment_plan in zip(
+            deployment.segments, plan.segments
+        ):
+            expected = len(segment_plan.flows) + (
+                0 if segment_plan.is_golden else 1  # + ASG flow
+            )
+            assert len(segment_deploy.flow_slots) == expected
+        occupied = sum(
+            device.state_vector_cache.occupied() for device in board.devices
+        )
+        assert occupied == sum(
+            len(s.flow_slots) for s in deployment.segments
+        )
+
+    def test_board_too_small_rejected(self, automaton, pap, trace):
+        plan = pap.plan(trace)
+        small = Board(
+            geometry=BoardGeometry(
+                ranks=1, devices_per_rank=1, stes_per_half_core=64
+            )
+        )
+        with pytest.raises(PlacementError, match="half-cores"):
+            deploy_plan(small, automaton, plan)
+
+    def test_cache_capacity_enforced(self, automaton, pap, trace):
+        plan = pap.plan(trace)
+        cramped = Board(
+            geometry=BoardGeometry(
+                ranks=1,
+                devices_per_rank=2,
+                stes_per_half_core=64,
+                state_vector_cache_entries=0,
+            )
+        )
+        has_flows = any(
+            not p.is_golden for p in plan.segments
+        )
+        if not has_flows:
+            pytest.skip("plan has no enumerated segments")
+        with pytest.raises(CapacityError, match="state"):
+            deploy_plan(cramped, automaton, plan)
+
+    def test_half_cores_used(self, automaton, pap, trace):
+        plan = pap.plan(trace)
+        board = Board(geometry=TINY)
+        deployment = deploy_plan(board, automaton, plan)
+        assert deployment.half_cores_used <= board.num_half_cores
+        assert deployment.half_cores_used == len(plan.segments)

@@ -1,0 +1,105 @@
+"""Tests for the data-parallel DFA scheme (Section 2.2 comparator)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.charclass import CharClass
+from repro.automata.dfa import subset_construction
+from repro.automata.nfa import Nfa
+from repro.core.dfa_parallel import enumerate_segment, parallel_dfa_run
+from repro.errors import ConfigurationError
+
+
+def unanchored(words):
+    nfa = Nfa()
+    start = nfa.add_state(start=True)
+    nfa.add_transition(start, CharClass.full(), start)
+    for word in words:
+        previous = start
+        for index, byte in enumerate(word):
+            state = nfa.add_state(accept=index == len(word) - 1)
+            nfa.add_transition(previous, CharClass.single(byte), state)
+            previous = state
+    return nfa
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return subset_construction(unanchored([b"ab", b"bc", b"ca"]))
+
+
+def sequential_reference(dfa, data):
+    state = 0
+    accepts = []
+    for index, symbol in enumerate(data):
+        state = dfa.step(state, symbol)
+        if dfa.accepting[state]:
+            accepts.append(index)
+    return state, accepts
+
+
+class TestParallelDfa:
+    @pytest.mark.parametrize("segments", [1, 2, 4, 7])
+    def test_equals_sequential(self, dfa, segments):
+        rng = random.Random(segments)
+        data = bytes(rng.choice(b"abc") for _ in range(100))
+        expected_state, expected_accepts = sequential_reference(dfa, data)
+        result = parallel_dfa_run(dfa, data, segments)
+        assert result.final_state == expected_state
+        assert list(result.accept_offsets) == expected_accepts
+
+    def test_convergence_cuts_work(self, dfa):
+        rng = random.Random(9)
+        data = bytes(rng.choice(b"abc") for _ in range(200))
+        converged = parallel_dfa_run(dfa, data, 4, converge=True)
+        naive = parallel_dfa_run(dfa, data, 4, converge=False)
+        assert converged.enumerated_steps < naive.enumerated_steps
+        assert converged.accept_offsets == naive.accept_offsets
+
+    def test_naive_work_is_states_times_symbols(self, dfa):
+        data = b"abcabc"
+        result = parallel_dfa_run(dfa, data, 2, converge=False)
+        tail = len(data) - result.segments[0].end
+        expected = result.segments[0].end + tail * dfa.num_states
+        assert result.enumerated_steps == expected
+
+    def test_work_amplification_bounded_by_states(self, dfa):
+        rng = random.Random(1)
+        data = bytes(rng.choice(b"abc") for _ in range(80))
+        result = parallel_dfa_run(dfa, data, 4)
+        assert 1.0 <= result.work_amplification <= dfa.num_states
+
+    def test_empty_input(self, dfa):
+        result = parallel_dfa_run(dfa, b"", 4)
+        assert result.final_state == 0
+        assert result.accept_offsets == ()
+
+    def test_zero_segments_rejected(self, dfa):
+        with pytest.raises(ConfigurationError):
+            parallel_dfa_run(dfa, b"ab", 0)
+
+    def test_segment_trace_shapes(self, dfa):
+        data = b"abcabcab"
+        trace, _ = enumerate_segment(dfa, data, 2, 6)
+        assert len(trace.end_state) == dfa.num_states
+        assert len(trace.distinct_after) == 4
+        # Distinct path counts never increase (functions compose).
+        curve = trace.distinct_after
+        assert all(b <= a for a, b in zip(curve, curve[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        segments=st.integers(1, 8),
+        length=st.integers(0, 120),
+    )
+    def test_property_equivalence(self, dfa, seed, segments, length):
+        rng = random.Random(seed)
+        data = bytes(rng.choice(b"abcx") for _ in range(length))
+        expected_state, expected_accepts = sequential_reference(dfa, data)
+        result = parallel_dfa_run(dfa, data, segments)
+        assert result.final_state == expected_state
+        assert list(result.accept_offsets) == expected_accepts

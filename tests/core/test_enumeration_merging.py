@@ -1,0 +1,154 @@
+"""Unit tests for enumeration units and flow packing."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.core.enumeration import EnumerationUnit, build_units
+from repro.core.merging import pack_flows
+from repro.core.ranges import enumeration_range
+
+
+@pytest.fixture
+def common_parent_automaton():
+    """The paper's Figure 5 shape: S0 -> {S2, S5, S46}, S1 -> {S17, S18,
+    S46}; all children labeled 'k'."""
+    automaton = Automaton()
+    s0 = automaton.add_state(CharClass.single("p"), start=StartKind.START_OF_DATA)
+    s1 = automaton.add_state(CharClass.single("q"), start=StartKind.START_OF_DATA)
+    children_of_s0 = [
+        automaton.add_state(CharClass.single("k")) for _ in range(2)
+    ]
+    children_of_s1 = [
+        automaton.add_state(CharClass.single("k")) for _ in range(2)
+    ]
+    shared = automaton.add_state(CharClass.single("k"), reporting=True)
+    automaton.add_edges(s0, children_of_s0 + [shared])
+    automaton.add_edges(s1, children_of_s1 + [shared])
+    return automaton
+
+
+class TestBuildUnits:
+    def test_parent_grouping_matches_figure5(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        assert len(rng) == 5
+        units = build_units(analysis, rng, merge_by_parent=True)
+        assert len(units) == 2
+        member_sets = {unit.members for unit in units}
+        assert frozenset({2, 3, 6}) in member_sets
+        assert frozenset({4, 5, 6}) in member_sets
+
+    def test_shared_child_in_both_units(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        units = build_units(analysis, rng, merge_by_parent=True)
+        assert all(6 in unit.members for unit in units)
+
+    def test_singletons_without_parent_merging(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        units = build_units(analysis, rng, merge_by_parent=False)
+        assert len(units) == 5
+        assert all(len(unit.members) == 1 for unit in units)
+
+    def test_duplicate_parent_groups_deduplicated(self):
+        # Two parents with identical child sets -> one unit.
+        automaton = Automaton()
+        p1 = automaton.add_state(CharClass.single("a"), start=StartKind.START_OF_DATA)
+        p2 = automaton.add_state(CharClass.single("b"), start=StartKind.START_OF_DATA)
+        child = automaton.add_state(CharClass.single("k"), reporting=True)
+        automaton.add_edge(p1, child)
+        automaton.add_edge(p2, child)
+        analysis = AutomatonAnalysis(automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        units = build_units(analysis, rng, merge_by_parent=True)
+        assert len(units) == 1
+
+    def test_unit_component_is_consistent(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        for unit in build_units(analysis, rng):
+            for member in unit.members:
+                assert analysis.component_index()[member] == unit.component
+
+    def test_unit_ids_dense_and_deterministic(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        first = build_units(analysis, rng)
+        second = build_units(analysis, rng)
+        assert [u.unit_id for u in first] == list(range(len(first)))
+        assert first == second
+
+
+class TestUnitTruth:
+    def test_true_when_all_members_matched(self):
+        unit = EnumerationUnit(0, parent=9, members=frozenset({1, 2}), component=0)
+        assert unit.is_true(frozenset({1, 2, 3}))
+
+    def test_false_when_any_member_missing(self):
+        unit = EnumerationUnit(0, parent=9, members=frozenset({1, 2}), component=0)
+        assert not unit.is_true(frozenset({1, 3}))
+
+    def test_false_on_empty_matched_set(self):
+        unit = EnumerationUnit(0, parent=None, members=frozenset({1}), component=0)
+        assert not unit.is_true(frozenset())
+
+
+def make_units(spec):
+    """spec: list of (component, members) tuples."""
+    return [
+        EnumerationUnit(
+            unit_id=index,
+            parent=None,
+            members=frozenset(members),
+            component=component,
+        )
+        for index, (component, members) in enumerate(spec)
+    ]
+
+
+class TestPackFlows:
+    def test_cc_merging_stacks_components(self):
+        # 3 components with 2, 1, 3 units -> 3 flows (the max).
+        units = make_units(
+            [(0, {1}), (0, {2}), (1, {3}), (2, {4}), (2, {5}), (2, {6})]
+        )
+        plan = pack_flows(units, range_size=6, merge_by_component=True)
+        assert len(plan.flows) == 3
+        for flow in plan.flows:
+            components = [unit.component for unit in flow.units]
+            assert len(components) == len(set(components))
+
+    def test_every_unit_packed_exactly_once(self):
+        units = make_units([(0, {1}), (0, {2}), (1, {3})])
+        plan = pack_flows(units, range_size=3)
+        packed = [u.unit_id for flow in plan.flows for u in flow.units]
+        assert sorted(packed) == [0, 1, 2]
+
+    def test_no_cc_merging_gives_one_flow_per_unit(self):
+        units = make_units([(0, {1}), (0, {2}), (1, {3})])
+        plan = pack_flows(units, range_size=3, merge_by_component=False)
+        assert len(plan.flows) == 3
+
+    def test_waterfall_stats(self):
+        # Range of 6 states; CC sizes 3+3 -> after CC = 3 (max states per
+        # component); units per component 2 and 1 -> after parent = 2.
+        units = make_units([(0, {1, 2}), (0, {3}), (1, {4, 5, 6})])
+        plan = pack_flows(units, range_size=6)
+        assert plan.stats.flows_in_range == 6
+        assert plan.stats.flows_after_cc == 3
+        assert plan.stats.flows_after_parent == 2
+        assert plan.stats.planned_flows == 2
+
+    def test_flow_initial_current_unions_members(self):
+        units = make_units([(0, {1, 2}), (1, {5})])
+        plan = pack_flows(units, range_size=3)
+        assert plan.flows[0].initial_current() == frozenset({1, 2, 5})
+
+    def test_empty_units(self):
+        plan = pack_flows([], range_size=0)
+        assert plan.flows == []
+        assert plan.stats.flows_after_cc == 0

@@ -1,0 +1,138 @@
+"""Property-based tests: PAP composition is exactly equivalent to
+sequential execution on arbitrary automata, inputs, and configurations.
+
+These are the strongest correctness tests in the repository: hypothesis
+searches the space of adversarial automaton shapes (self loops, shared
+states, all-input starts, overlapping labels) and inputs, asserting the
+deduplicated report set and the final matched set both survive
+partitioning, enumeration, merging, convergence, deactivation, FIV, and
+composition.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ap.geometry import BoardGeometry
+from repro.ap.sequential import run_sequential
+from repro.automata.random_gen import random_automaton, random_ruleset_automaton
+from repro.core.config import PAPConfig
+from repro.core.pap import ParallelAutomataProcessor
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def board(half_cores: int) -> BoardGeometry:
+    return BoardGeometry(
+        ranks=1, devices_per_rank=max(1, half_cores // 2)
+    )
+
+
+configs = st.builds(
+    PAPConfig,
+    geometry=st.sampled_from([board(2), board(4), board(8)]),
+    tdm_slice_symbols=st.sampled_from([5, 17, 64]),
+    convergence_period_steps=st.sampled_from([1, 3, 10]),
+    early_check_symbols=st.sampled_from([2, 8]),
+    use_connected_components=st.booleans(),
+    use_common_parent=st.booleans(),
+    use_asg=st.booleans(),
+    use_convergence=st.booleans(),
+    use_deactivation=st.booleans(),
+    use_fiv=st.booleans(),
+)
+
+inputs = st.binary(min_size=0, max_size=400).map(
+    # Shrink the alphabet so matches actually occur.
+    lambda raw: bytes(b"abcdef"[b % 6] for b in raw)
+)
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(0, 10_000), data=inputs, config=configs)
+def test_pap_equals_sequential_on_rulesets(seed, data, config):
+    automaton = random_ruleset_automaton(seed, num_patterns=4)
+    baseline = run_sequential(automaton, data)
+    result = ParallelAutomataProcessor(automaton, config=config).run(data)
+    assert result.reports == baseline.reports
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(0, 10_000), data=inputs, config=configs)
+def test_pap_equals_sequential_on_adversarial_automata(seed, data, config):
+    automaton = random_automaton(seed, num_states=9, alphabet=b"abcd")
+    baseline = run_sequential(automaton, data)
+    result = ParallelAutomataProcessor(automaton, config=config).run(data)
+    assert result.reports == baseline.reports
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(0, 10_000), data=inputs)
+def test_final_matched_set_equals_sequential(seed, data):
+    """The composed final matched set of the last segment must equal the
+    sequential run's final current set — it is what a further segment
+    would compose against."""
+    automaton = random_ruleset_automaton(seed, num_patterns=3)
+    config = PAPConfig(geometry=board(4), tdm_slice_symbols=16)
+    result = ParallelAutomataProcessor(automaton, config=config).run(data)
+    if not result.composed:
+        assert not data
+        return
+    sequential = run_sequential(automaton, data)
+    del sequential  # reports checked elsewhere; recompute final set:
+    from repro.automata.execution import run_automaton
+
+    expected = run_automaton(automaton, data).final_current
+    assert result.composed[-1].final_matched == expected
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(0, 10_000), data=inputs)
+def test_pap_never_slower_than_golden(seed, data):
+    automaton = random_ruleset_automaton(seed, num_patterns=3)
+    config = PAPConfig(geometry=board(4), tdm_slice_symbols=16)
+    result = ParallelAutomataProcessor(automaton, config=config).run(data)
+    assert result.total_cycles <= result.golden_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    data=inputs,
+    slice_symbols=st.integers(1, 40),
+)
+def test_tdm_granularity_never_changes_reports(seed, data, slice_symbols):
+    """Reports are invariant under the TDM slice size (pure timing knob)."""
+    automaton = random_ruleset_automaton(seed, num_patterns=3)
+    reference = ParallelAutomataProcessor(
+        automaton,
+        config=PAPConfig(geometry=board(4), tdm_slice_symbols=64),
+    ).run(data)
+    variant = ParallelAutomataProcessor(
+        automaton,
+        config=PAPConfig(geometry=board(4), tdm_slice_symbols=slice_symbols),
+    ).run(data)
+    assert variant.reports == reference.reports
+
+
+def test_regression_corpus_of_seeds():
+    """A fixed seed corpus kept fast enough for every CI run; hypothesis
+    explores beyond it."""
+    rng = random.Random(0)
+    for _ in range(15):
+        seed = rng.randrange(10_000)
+        automaton = random_automaton(seed, num_states=8, alphabet=b"abc")
+        data = bytes(rng.choice(b"abc") for _ in range(200))
+        config = PAPConfig(
+            geometry=board(4),
+            tdm_slice_symbols=rng.choice([3, 9, 33]),
+            convergence_period_steps=rng.choice([1, 2, 10]),
+        )
+        baseline = run_sequential(automaton, data)
+        result = ParallelAutomataProcessor(automaton, config=config).run(data)
+        assert result.reports == baseline.reports, seed

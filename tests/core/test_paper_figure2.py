@@ -1,0 +1,114 @@
+"""Fidelity test: the paper's Figure 2 worked example.
+
+Figure 2 parallelizes a 3-state FSM that "detects the first word in
+every line" over two 5-symbol segments, enumerating segment I2 from all
+three states.  The transition table (paper, Figure 2 right):
+
+            x     \\s    \\n
+    S0  ->  S1    S0    S0
+    S1  ->  S1    S2    S0
+    S2  ->  S2    S2    S0
+
+Input: I1 = "\\s \\n \\n \\s x", I2 = "b c d \\s \\n" (letters are 'x'-class
+word characters).  The paper's enumeration table for I2:
+
+    start S0:  S1 S1 S1 S2 S0
+    start S1:  S1 S1 S1 S2 S0
+    start S2:  S2 S2 S2 S2 S0
+
+so the first two paths converge immediately and the enumeration runs 2
+live paths, the true path being the one starting at S1 (I1 ends in S1).
+This test reproduces every row of that table.
+"""
+
+import pytest
+
+from repro.automata.charclass import CharClass
+from repro.automata.dfa import Dfa
+from repro.core.dfa_parallel import enumerate_segment, parallel_dfa_run
+
+WORD = 0  # 'x' class: any word character
+SPACE = 1  # '\s'
+NEWLINE = 2  # '\n'
+
+
+@pytest.fixture
+def figure2_dfa() -> Dfa:
+    classes = [
+        CharClass.range("a", "z"),
+        CharClass.single(" "),
+        CharClass.single("\n"),
+    ]
+    symbol_class = [0] * 256
+    for index, klass in enumerate(classes):
+        for symbol in klass:
+            symbol_class[symbol] = index
+    return Dfa(
+        classes=classes,
+        symbol_class=symbol_class,
+        transitions=[
+            [1, 0, 0],  # S0: x->S1, \s->S0, \n->S0
+            [1, 2, 0],  # S1: x->S1, \s->S2, \n->S0
+            [2, 2, 0],  # S2: x->S2, \s->S2, \n->S0
+        ],
+        accepting=[False, True, False],  # S1 = inside the first word
+        subsets=[frozenset()] * 3,
+    )
+
+
+I1 = b"  \n\na"  # \s \s \n \n x   (ends in S1, as in the figure)
+I2 = b"bcd \n"  # x x x \s \n
+
+
+class TestFigure2Enumeration:
+    def test_paper_enumeration_table(self, figure2_dfa):
+        data = I1 + I2
+        trace, _ = enumerate_segment(figure2_dfa, data, 5, 10, converge=False)
+        # Reconstruct the per-step state sequences for each start.
+        sequences = {start: [] for start in range(3)}
+        for start in range(3):
+            state = start
+            for index in range(5, 10):
+                state = figure2_dfa.step(state, data[index])
+                sequences[start].append(state)
+        assert sequences[0] == [1, 1, 1, 2, 0]
+        assert sequences[1] == [1, 1, 1, 2, 0]
+        assert sequences[2] == [2, 2, 2, 2, 0]
+        assert trace.end_state[:3] == (0, 0, 0)
+
+    def test_paths_converge_after_first_symbol(self, figure2_dfa):
+        data = I1 + I2
+        trace, steps = enumerate_segment(figure2_dfa, data, 5, 10)
+        # S0 and S1 both map to S1 on 'b': 3 paths -> 2 immediately
+        # (the paper's "after processing the first two symbols" is
+        # conservative for this input), then all collapse on \n.
+        assert trace.distinct_after[0] == 2
+        assert trace.distinct_after[-1] == 1
+        # Convergence saves work: fewer than 3 paths x 5 symbols.
+        assert steps < 15
+
+    def test_true_path_selected_from_I1_end(self, figure2_dfa):
+        data = I1 + I2
+        result = parallel_dfa_run(figure2_dfa, data, 2)
+        # I1 ends at S1; the true I2 path is the S1 row ending at S0.
+        assert result.segments[0].end_state[0] == 1
+        assert result.final_state == 0
+
+    def test_parallel_equals_sequential(self, figure2_dfa):
+        data = I1 + I2
+        state = 0
+        accepts = []
+        for index, symbol in enumerate(data):
+            state = figure2_dfa.step(state, symbol)
+            if figure2_dfa.accepting[state]:
+                accepts.append(index)
+        result = parallel_dfa_run(figure2_dfa, data, 2)
+        assert result.final_state == state
+        assert list(result.accept_offsets) == accepts
+
+    def test_speedup_structure(self, figure2_dfa):
+        # 2 segments, tiny FSM: enumeration work stays near 2x the
+        # segment cost thanks to convergence.
+        data = (I1 + I2) * 20
+        result = parallel_dfa_run(figure2_dfa, data, 2)
+        assert result.work_amplification < 2.0

@@ -1,0 +1,87 @@
+"""Unit tests for input partitioning."""
+
+import pytest
+
+from repro.core.partitioning import partition_input
+from repro.errors import ConfigurationError
+
+
+class TestBasicPartitioning:
+    def test_segments_cover_input_exactly(self):
+        data = bytes(range(100))
+        segments = partition_input(data, 4)
+        assert segments[0].start == 0
+        assert segments[-1].end == len(data)
+        for left, right in zip(segments, segments[1:]):
+            assert left.end == right.start
+
+    def test_roughly_equal_sizes_without_symbol(self):
+        segments = partition_input(b"x" * 100, 4, symbol=None)
+        assert [s.length for s in segments] == [25, 25, 25, 25]
+
+    def test_boundary_symbol_recorded(self):
+        data = b"aaaabaaaabaaaa"
+        segments = partition_input(data, 3, symbol=ord("b"))
+        for segment in segments[1:]:
+            assert segment.boundary_symbol == data[segment.start - 1]
+
+    def test_first_segment_has_no_boundary_symbol(self):
+        segments = partition_input(b"abcd" * 10, 2)
+        assert segments[0].boundary_symbol is None
+
+    def test_indices_are_dense(self):
+        segments = partition_input(b"ab" * 50, 5)
+        assert [s.index for s in segments] == list(range(len(segments)))
+
+
+class TestSnapping:
+    def test_cuts_snap_to_symbol(self):
+        # 'b' at positions 3 and 11; targets at 5 and 10 with window 2+.
+        data = b"aaabaaaaaaabaaa"
+        segments = partition_input(data, 3, symbol=ord("b"), snap_window=3)
+        cut_points = [s.start for s in segments[1:]]
+        assert cut_points == [4, 12]  # just after each 'b'
+        for segment in segments[1:]:
+            assert segment.boundary_symbol == ord("b")
+
+    def test_falls_back_to_target_when_symbol_absent_nearby(self):
+        data = b"a" * 40 + b"b" + b"a" * 59
+        segments = partition_input(data, 2, symbol=ord("z"), snap_window=5)
+        assert segments[1].start == 50
+        assert segments[1].boundary_symbol == ord("a")
+
+    def test_duplicate_cuts_collapse(self):
+        # Two targets inside one symbol-free stretch both fall back to
+        # their positions; a target colliding with the previous cut is
+        # dropped rather than emitting an empty segment.
+        data = b"abab"
+        segments = partition_input(data, 4, symbol=ord("z"), snap_window=1)
+        starts = [s.start for s in segments]
+        assert starts == sorted(set(starts))
+        assert all(s.length > 0 for s in segments)
+
+    def test_snap_window_respects_previous_cut(self):
+        # The second cut may not snap backwards past the first.
+        data = b"ab" + b"a" * 20
+        segments = partition_input(data, 3, symbol=ord("b"), snap_window=50)
+        starts = [s.start for s in segments]
+        assert starts == sorted(set(starts))
+
+
+class TestDegenerateInputs:
+    def test_empty_input(self):
+        assert partition_input(b"", 4) == []
+
+    def test_more_segments_than_bytes(self):
+        segments = partition_input(b"ab", 10)
+        assert len(segments) <= 2
+        assert segments[-1].end == 2
+
+    def test_single_segment(self):
+        segments = partition_input(b"abc", 1)
+        assert len(segments) == 1
+        assert segments[0].length == 3
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_input(b"abc", 0)

@@ -1,0 +1,126 @@
+"""Unit tests for range profiling and partition-symbol choice."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.core.ranges import (
+    choose_partition_symbol,
+    enumeration_range,
+    range_profile,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def hub_ruleset():
+    """.*abc and .*xyz off one shared hub."""
+    automaton = Automaton()
+    hub = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub, builder.classes_for("abc"))
+    builder.attach_pattern(automaton, hub, builder.classes_for("xyz"))
+    return automaton
+
+
+class TestRangeProfile:
+    def test_shape(self, hub_ruleset):
+        profile = range_profile(AutomatonAnalysis(hub_ruleset))
+        assert len(profile.sizes) == 256
+        assert profile.total_states == 7
+
+    def test_min_max_avg(self, hub_ruleset):
+        profile = range_profile(AutomatonAnalysis(hub_ruleset))
+        # Every symbol reaches the hub; pattern symbols add one state.
+        assert profile.minimum == 1
+        assert profile.maximum == 2
+        assert 1 < profile.average < 2
+
+    def test_range_includes_always_active(self, hub_ruleset):
+        # The raw profile counts the hub (Table 1 semantics).
+        analysis = AutomatonAnalysis(hub_ruleset)
+        assert 0 in analysis.symbol_range(ord("q"))
+
+
+class TestEnumerationRange:
+    def test_excludes_given_states(self, hub_ruleset):
+        analysis = AutomatonAnalysis(hub_ruleset)
+        pi = analysis.path_independent_states()
+        assert enumeration_range(analysis, ord("q"), exclude=pi) == frozenset()
+        assert enumeration_range(analysis, ord("a"), exclude=pi) == frozenset({1})
+
+    def test_parentless_start_of_data_excluded(self):
+        # ^hdr's head can only match at offset 0, never at a boundary.
+        automaton = Automaton()
+        builder.literal(automaton, "ha")
+        analysis = AutomatonAnalysis(automaton)
+        assert enumeration_range(analysis, ord("h")) == frozenset()
+
+    def test_parentless_all_input_included_when_not_excluded(self):
+        automaton = Automaton()
+        head = automaton.add_state(
+            CharClass.single("a"), start=StartKind.ALL_INPUT
+        )
+        tail = automaton.add_state(CharClass.single("b"), reporting=True)
+        automaton.add_edge(head, tail)
+        analysis = AutomatonAnalysis(automaton)
+        # Without ASG exclusion the persistent head is enumerable.
+        assert head in enumeration_range(analysis, ord("a"))
+        # With it, it is not.
+        pi = analysis.path_independent_states()
+        assert head not in enumeration_range(analysis, ord("a"), exclude=pi)
+
+    def test_interior_state_with_parent_included(self, hub_ruleset):
+        analysis = AutomatonAnalysis(hub_ruleset)
+        assert 2 in enumeration_range(analysis, ord("b"))
+
+
+class TestChoosePartitionSymbol:
+    def test_prefers_small_range(self, hub_ruleset):
+        analysis = AutomatonAnalysis(hub_ruleset)
+        pi = analysis.path_independent_states()
+        # 'q' (range 0 after exclusion) occurs as often as 'a' (range 1).
+        data = b"aq" * 50
+        choice = choose_partition_symbol(
+            analysis, data, num_segments=4, exclude=pi
+        )
+        assert choice.symbol == ord("q")
+        assert choice.range_size == 0
+
+    def test_frequency_gate(self, hub_ruleset):
+        analysis = AutomatonAnalysis(hub_ruleset)
+        pi = analysis.path_independent_states()
+        # 'q' occurs once: not enough for 4 segments; 'a' wins.
+        data = b"q" + b"a" * 50
+        choice = choose_partition_symbol(
+            analysis, data, num_segments=4, exclude=pi
+        )
+        assert choice.symbol == ord("a")
+
+    def test_tie_broken_by_frequency(self, hub_ruleset):
+        analysis = AutomatonAnalysis(hub_ruleset)
+        pi = analysis.path_independent_states()
+        data = b"qqqpp" * 10  # both have range 0; q is more frequent
+        choice = choose_partition_symbol(
+            analysis, data, num_segments=2, exclude=pi
+        )
+        assert choice.symbol == ord("q")
+
+    def test_fallback_when_nothing_frequent_enough(self, hub_ruleset):
+        analysis = AutomatonAnalysis(hub_ruleset)
+        data = b"ab"
+        choice = choose_partition_symbol(analysis, data, num_segments=64)
+        assert choice.symbol in data
+
+    def test_empty_input_rejected(self, hub_ruleset):
+        with pytest.raises(ConfigurationError):
+            choose_partition_symbol(
+                AutomatonAnalysis(hub_ruleset), b"", num_segments=2
+            )
+
+    def test_zero_segments_rejected(self, hub_ruleset):
+        with pytest.raises(ConfigurationError):
+            choose_partition_symbol(
+                AutomatonAnalysis(hub_ruleset), b"ab", num_segments=0
+            )

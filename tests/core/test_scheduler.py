@@ -1,0 +1,257 @@
+"""Unit tests for the TDM segment scheduler."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.execution import CompiledAutomaton
+from repro.core.config import PAPConfig
+from repro.core.enumeration import build_units
+from repro.core.merging import pack_flows
+from repro.core.partitioning import InputSegment
+from repro.core.ranges import enumeration_range
+from repro.core.scheduler import (
+    ASG_FLOW_ID,
+    GOLDEN_FLOW_ID,
+    SegmentPlan,
+    SegmentScheduler,
+)
+from repro.core.merging import FlowReductionStats
+
+EMPTY_STATS = FlowReductionStats(0, 0, 0, 0)
+
+
+def hub_automaton():
+    """.*ab | .*cd in two components."""
+    automaton = Automaton("sched")
+    hub_a = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub_a, builder.classes_for("ab"), report_code=0)
+    hub_b = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub_b, builder.classes_for("cd"), report_code=1)
+    return automaton
+
+
+def make_scheduler(automaton, **config_overrides):
+    analysis = AutomatonAnalysis(automaton)
+    config = PAPConfig(tdm_slice_symbols=8, early_check_symbols=4, **config_overrides)
+    scheduler = SegmentScheduler(
+        CompiledAutomaton(automaton),
+        analysis,
+        config,
+        analysis.path_independent_states(),
+    )
+    return scheduler, analysis
+
+
+def plan_for(automaton, analysis, data, start, end, *, golden=False):
+    if golden:
+        return SegmentPlan(
+            segment=InputSegment(index=0, start=start, end=end, boundary_symbol=None),
+            flows=(),
+            stats=EMPTY_STATS,
+            asg_initial=frozenset(),
+            is_golden=True,
+        )
+    boundary = data[start - 1]
+    pi = analysis.path_independent_states()
+    rng = enumeration_range(analysis, boundary, exclude=pi)
+    units = build_units(analysis, rng)
+    flow_plan = pack_flows(units, range_size=len(rng))
+    asg_initial = frozenset(
+        sid
+        for sid in pi
+        if boundary in analysis.automaton.state(sid).label
+    )
+    return SegmentPlan(
+        segment=InputSegment(
+            index=1, start=start, end=end, boundary_symbol=boundary
+        ),
+        flows=tuple(flow_plan.flows),
+        stats=flow_plan.stats,
+        asg_initial=asg_initial,
+        is_golden=False,
+    )
+
+
+class TestGoldenSegment:
+    def test_golden_runs_without_switching(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        data = b"xxabxxcdxx"
+        plan = plan_for(automaton, analysis, data, 0, len(data), golden=True)
+        result = scheduler.run_segment(data, plan)
+        assert result.metrics.finish_cycles == len(data)
+        assert result.metrics.context_switch_cycles == 0
+        assert {e.flow_id for e in result.events} == {GOLDEN_FLOW_ID}
+        assert result.metrics.raw_events == 2
+
+    def test_golden_final_current_is_sequential(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        data = b"xxab"
+        plan = plan_for(automaton, analysis, data, 0, len(data), golden=True)
+        result = scheduler.run_segment(data, plan)
+        from repro.automata.execution import run_automaton
+
+        assert (
+            result.final_currents[GOLDEN_FLOW_ID]
+            == run_automaton(automaton, data).final_current
+        )
+
+
+class TestEnumeratedSegment:
+    def test_asg_flow_present_for_hub_automata(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        data = b"xxxxabxxxxxxxxxx"
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        result = scheduler.run_segment(data, plan)
+        assert result.asg_final  # hubs always active
+        # ASG flow emits always-true events for the .*ab hit at 4..5.
+        asg_offsets = {
+            e.offset for e in result.events if e.flow_id == ASG_FLOW_ID
+        }
+        assert 5 in asg_offsets
+
+    def test_no_asg_flow_for_anchored_automata(self):
+        automaton = Automaton("anchored")
+        builder.literal(automaton, "abcd")
+        extra = automaton.add_state(
+            builder.classes_for("b")[0],
+        )
+        automaton.add_edge(0, extra)
+        scheduler, analysis = make_scheduler(automaton)
+        data = b"abcdabcd"
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        result = scheduler.run_segment(data, plan)
+        assert result.asg_final == frozenset()
+        assert all(e.flow_id != ASG_FLOW_ID for e in result.events)
+
+    def test_deactivation_of_dead_flows(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        # Boundary 'a': the range state is chain position 1; flows whose
+        # continuation never sees 'b' die back to the ASG vector.
+        data = b"xxxaXXXXXXXXXXXXXXXXXXXXXXXXXX"
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        result = scheduler.run_segment(data, plan)
+        assert result.metrics.deactivations >= 1
+        # Deactivated units re-home to the ASG flow in the history.
+        rehomed = [
+            entries
+            for entries in result.unit_history.values()
+            if any(flow_id == ASG_FLOW_ID for flow_id, _ in entries)
+        ]
+        assert rehomed
+
+    def test_deactivation_disabled_keeps_flows(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(
+            automaton, use_deactivation=False
+        )
+        data = b"xxxaXXXXXXXXXXXXXXXXXXXXXXXXXX"
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        result = scheduler.run_segment(data, plan)
+        assert result.metrics.deactivations == 0
+        assert result.metrics.enum_flows_at_end == len(plan.flows)
+
+    def test_fiv_kills_false_flows_at_arrival(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(
+            automaton, use_deactivation=False
+        )
+        data = b"xxxa" + b"ab" * 20
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        truth = {unit.unit_id: False for flow in plan.flows for unit in flow.units}
+        result = scheduler.run_segment(
+            data, plan, unit_truth=truth, fiv_time=0
+        )
+        assert result.metrics.fiv_invalidations == len(plan.flows)
+        assert result.metrics.fiv_applied_at is not None
+
+    def test_fiv_spares_true_flows(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(
+            automaton, use_deactivation=False
+        )
+        data = b"xxxa" + b"ab" * 20
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        truth = {unit.unit_id: True for flow in plan.flows for unit in flow.units}
+        result = scheduler.run_segment(
+            data, plan, unit_truth=truth, fiv_time=0
+        )
+        assert result.metrics.fiv_invalidations == 0
+
+    def test_fiv_after_finish_never_applies(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        data = b"xxxaab"
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        truth = {unit.unit_id: False for flow in plan.flows for unit in flow.units}
+        result = scheduler.run_segment(
+            data, plan, unit_truth=truth, fiv_time=10**9
+        )
+        assert result.metrics.fiv_applied_at is None
+
+    def test_context_switch_accounting(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(
+            automaton, use_deactivation=False
+        )
+        data = b"xxxa" + b"ab" * 14
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        result = scheduler.run_segment(data, plan)
+        flows = len(plan.flows) + 1  # + ASG
+        assert flows > 1
+        # Every flow pays 3 cycles per TDM step while multiple are live.
+        expected = result.metrics.tdm_steps * flows * 3
+        assert result.metrics.context_switch_cycles == expected
+
+    def test_single_flow_pays_no_switching(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        # Boundary symbol with empty enumeration range: ASG flow only.
+        data = b"xxxZ" + b"x" * 20
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        assert not plan.flows
+        result = scheduler.run_segment(data, plan)
+        assert result.metrics.context_switch_cycles == 0
+
+    def test_convergence_merges_identical_flows(self):
+        # Two parents in one component with distinct children that both
+        # die -> their flows converge to the shared ASG vector... use
+        # deactivation off and convergence on to observe the merge.
+        # ".*ax" and ".*bay" share one hub (one component); boundary 'a'
+        # yields two units with distinct parents (hub vs. the 'b'
+        # state), hence two flows.  On junk input both unit parts die
+        # and the vectors equalize at the ASG part -> convergence.
+        automaton = Automaton("conv")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("ax"))
+        builder.attach_pattern(automaton, hub, builder.classes_for("bay"))
+        scheduler, analysis = make_scheduler(
+            automaton,
+            use_deactivation=False,
+            convergence_period_steps=1,
+        )
+        data = b"xxxa" + b"z" * 28
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        assert len(plan.flows) == 2
+        result = scheduler.run_segment(data, plan)
+        assert result.metrics.convergence_merges >= 1
+        merged_units = [
+            entries
+            for entries in result.unit_history.values()
+            if len(entries) > 1
+        ]
+        assert merged_units
+
+    def test_active_flow_samples_monotone_under_deactivation(self):
+        automaton = hub_automaton()
+        scheduler, analysis = make_scheduler(automaton)
+        data = b"xxxa" + b"z" * 60
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        result = scheduler.run_segment(data, plan)
+        samples = result.metrics.active_flow_samples
+        assert samples == sorted(samples, reverse=True)

@@ -1,0 +1,155 @@
+"""Tests for the speculative execution extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ap.geometry import BoardGeometry
+from repro.ap.sequential import run_sequential
+from repro.automata.random_gen import random_input, random_ruleset_automaton
+from repro.core.config import PAPConfig
+from repro.core.speculation import SpeculativeAutomataProcessor
+from repro.regex.ruleset import compile_ruleset
+
+BOARD = BoardGeometry(ranks=1, devices_per_rank=2)  # 4 half-cores
+CONFIG = PAPConfig(geometry=BOARD)
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    automaton, _ = compile_ruleset(["abc", "x[yz]w", "^hdr"])
+    return automaton
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = random.Random(4)
+    return bytes(rng.choice(b"abcxyzw h") for _ in range(3000))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("predictor", ["cold", "profile", "warmup"])
+    def test_reports_equal_sequential(self, ruleset, trace, predictor):
+        baseline = run_sequential(ruleset, trace)
+        spec = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG, predictor=predictor
+        )
+        result = spec.run(trace)
+        assert result.reports == baseline.reports
+
+    def test_custom_predictor_callable(self, ruleset, trace):
+        baseline = run_sequential(ruleset, trace)
+        spec = SpeculativeAutomataProcessor(
+            ruleset,
+            config=CONFIG,
+            predictor=lambda segment: frozenset({1, 2}),  # mostly wrong
+        )
+        result = spec.run(trace)
+        assert result.reports == baseline.reports
+        assert result.mispredictions > 0
+
+    def test_unknown_predictor_rejected(self, ruleset):
+        spec = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG, predictor="psychic"
+        )
+        with pytest.raises(ValueError):
+            spec.run(b"ab")
+
+    def test_empty_input(self, ruleset):
+        spec = SpeculativeAutomataProcessor(ruleset, config=CONFIG)
+        result = spec.run(b"")
+        assert result.reports == frozenset()
+        assert result.total_cycles == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), data_seed=st.integers(0, 10_000))
+    def test_property_reports_equal_sequential(self, seed, data_seed):
+        automaton = random_ruleset_automaton(seed, num_patterns=4)
+        data = random_input(data_seed, length=400)
+        baseline = run_sequential(automaton, data)
+        for predictor in ("cold", "profile"):
+            result = SpeculativeAutomataProcessor(
+                automaton, config=CONFIG, predictor=predictor
+            ).run(data)
+            assert result.reports == baseline.reports, predictor
+
+
+class TestSpeculationDynamics:
+    def test_cold_predictor_accuracy_reported(self, ruleset, trace):
+        spec = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG, predictor="cold"
+        )
+        result = spec.run(trace)
+        assert 0.0 <= result.prediction_accuracy <= 1.0
+        assert result.mispredictions == sum(
+            1 for s in result.segments if not s.correct
+        )
+
+    def test_misprediction_costs_rerun(self, ruleset, trace):
+        spec = SpeculativeAutomataProcessor(
+            ruleset,
+            config=CONFIG,
+            predictor=lambda segment: frozenset({1}),
+        )
+        result = spec.run(trace)
+        for outcome in result.segments:
+            if outcome.correct:
+                assert outcome.rerun_cycles == 0
+            else:
+                assert outcome.rerun_cycles == outcome.segment.length
+
+    def test_correct_speculation_beats_golden(self):
+        # A boundary symbol where nothing survives: cold prediction is
+        # always right, so speculation parallelizes perfectly.
+        automaton, _ = compile_ruleset(["^only-at-start"])
+        # Segments must dwarf the fixed validation cost (~1.7k cycles).
+        data = b"z" * 40_000
+        spec = SpeculativeAutomataProcessor(
+            automaton, config=CONFIG, predictor="cold"
+        )
+        result = spec.run(data)
+        assert result.prediction_accuracy == 1.0
+        assert result.total_cycles < result.golden_cycles
+
+    def test_never_worse_than_golden(self, ruleset, trace):
+        spec = SpeculativeAutomataProcessor(
+            ruleset,
+            config=CONFIG,
+            predictor=lambda segment: frozenset({0}),
+        )
+        result = spec.run(trace)
+        assert result.total_cycles <= result.golden_cycles
+
+    def test_first_segment_always_correct(self, ruleset, trace):
+        result = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG
+        ).run(trace)
+        assert result.segments[0].correct
+
+    def test_warmup_accuracy_improves_with_window(self, ruleset, trace):
+        """Longer history windows can only help the warmup predictor
+        (NFAs forget; a longer replay subsumes a shorter one here)."""
+        short = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG, predictor="warmup", warmup_symbols=1
+        ).run(trace)
+        long = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG, predictor="warmup", warmup_symbols=128
+        ).run(trace)
+        assert long.prediction_accuracy >= short.prediction_accuracy
+
+    def test_warmup_cost_charged(self, ruleset, trace):
+        result = SpeculativeAutomataProcessor(
+            ruleset, config=CONFIG, predictor="warmup", warmup_symbols=32
+        ).run(trace)
+        for outcome in result.segments[1:]:
+            assert (
+                outcome.first_run_cycles == outcome.segment.length + 32
+            )
+
+    def test_warmup_window_validated(self, ruleset):
+        with pytest.raises(ValueError):
+            SpeculativeAutomataProcessor(
+                ruleset, config=CONFIG, predictor="warmup", warmup_symbols=0
+            )

@@ -1,0 +1,93 @@
+"""Unit tests for the host model: report draining, decode, flow table."""
+
+import pytest
+
+from repro.ap.timing import DEFAULT_TIMING, TimingModel
+from repro.host.decode import FlowTable, false_path_decode_cycles
+from repro.host.reporting import report_processing_cycles
+
+
+class TestReportProcessing:
+    def test_burst_draining(self):
+        assert report_processing_cycles(0) == 0
+        assert report_processing_cycles(1) == 1
+        assert report_processing_cycles(8) == 1
+        assert report_processing_cycles(9) == 2
+        assert report_processing_cycles(800) == 100
+
+    def test_custom_burst_width(self):
+        assert report_processing_cycles(10, events_per_cycle=1) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            report_processing_cycles(-1)
+        with pytest.raises(ValueError):
+            report_processing_cycles(1, events_per_cycle=0)
+
+
+class TestFalsePathDecode:
+    def test_dominated_by_state_vector_transfer(self):
+        cost = false_path_decode_cycles(1)
+        assert cost >= DEFAULT_TIMING.state_vector_transfer_cycles
+        # The paper's Figure 11 regime: ~2,000 cycles for few flows.
+        assert cost < 2_500
+
+    def test_scales_with_flows(self):
+        few = false_path_decode_cycles(2)
+        many = false_path_decode_cycles(500)
+        assert many > few
+        assert many - few == DEFAULT_TIMING.decode_cycles_per_flow * 498
+
+    def test_timing_overrides(self):
+        timing = TimingModel(
+            state_vector_transfer_cycles=100,
+            decode_base_cycles=10,
+            decode_cycles_per_flow=1,
+        )
+        assert false_path_decode_cycles(5, timing=timing) == 115
+
+    def test_explicit_constants_win(self):
+        assert (
+            false_path_decode_cycles(1, base_cycles=0, cycles_per_flow=0)
+            == DEFAULT_TIMING.state_vector_transfer_cycles
+        )
+
+    def test_negative_flows_rejected(self):
+        with pytest.raises(ValueError):
+            false_path_decode_cycles(-1)
+
+
+class TestFlowTable:
+    def test_assign_and_lookup(self):
+        table = FlowTable()
+        table.assign(0, 10)
+        table.assign(0, 11)
+        table.assign(1, 12)
+        assert table.units_of(0) == (10, 11)
+        assert table.units_of(1) == (12,)
+        assert table.flows() == (0, 1)
+        assert len(table) == 2
+
+    def test_move_units_on_convergence(self):
+        table = FlowTable()
+        table.assign(0, 10)
+        table.assign(1, 11)
+        table.move_units(source_flow=1, target_flow=0)
+        assert table.units_of(0) == (10, 11)
+        assert table.units_of(1) == ()
+
+    def test_fiv_marks_flows_without_true_units(self):
+        table = FlowTable()
+        table.assign(0, 10)
+        table.assign(1, 11)
+        table.assign(2, 12)
+        table.assign(2, 13)
+        false_flows, transfer = table.flow_invalidation_vector({10, 13})
+        assert false_flows == frozenset({1})
+        assert transfer == DEFAULT_TIMING.fiv_transfer_cycles
+
+    def test_fiv_empty_truth_kills_all(self):
+        table = FlowTable()
+        table.assign(0, 10)
+        false_flows, _ = table.flow_invalidation_vector(set())
+        assert false_flows == frozenset({0})

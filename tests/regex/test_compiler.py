@@ -1,0 +1,172 @@
+"""Unit tests for the Glushkov compiler, cross-validated against
+Python's `re` on substring-occurrence semantics."""
+
+import re
+
+import pytest
+
+from repro.automata.anml import StartKind
+from repro.automata.charclass import CharClass
+from repro.automata.execution import run_automaton
+from repro.errors import RegexSyntaxError
+from repro.regex.compiler import compile_pattern
+from repro.regex.ruleset import compile_ruleset
+
+
+def match_offsets(pattern: str, data: bytes) -> set[int]:
+    """Offsets where our automaton reports for ``pattern``."""
+    automaton = compile_pattern(pattern)
+    return {r.offset for r in run_automaton(automaton, data).report_set}
+
+
+def re_end_offsets(pattern: str, data: bytes, anchored: bool) -> set[int]:
+    """Ground truth via Python re: offsets t such that some substring
+    data[i..t] (i=0 when anchored) fully matches the pattern."""
+    compiled = re.compile(pattern.lstrip("^").encode("latin-1"), re.DOTALL)
+    offsets = set()
+    for end in range(1, len(data) + 1):
+        starts = [0] if anchored else range(end)
+        for start in starts:
+            if compiled.fullmatch(data, start, end):
+                offsets.add(end - 1)
+                break
+    return offsets
+
+
+CROSS_CASES = [
+    ("abc", b"zzabczabc"),
+    ("^abc", b"abcabc"),
+    ("a+b", b"aaab aab b ab"),
+    ("a*b", b"baab"),
+    ("ab?c", b"ac abc abbc"),
+    ("a{2,3}", b"aaaaa"),
+    ("a{3}", b"aaaa"),
+    ("a{2,}", b"aaaaa"),
+    ("(ab)+", b"ababab"),
+    ("a|bc", b"a bc abc"),
+    ("[ab]c", b"ac bc cc"),
+    ("[^a]b", b"ab xb bb"),
+    ("a.c", b"abc axc ac"),
+    ("x(a|b)*y", b"xy xaby xbbay xz"),
+    (r"\d+", b"a12b345"),
+    (r"a\.b", b"a.b axb"),
+    ("(a|ab)(c|bc)", b"abc"),
+]
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("pattern,data", CROSS_CASES)
+    def test_against_python_re(self, pattern, data):
+        anchored = pattern.startswith("^")
+        assert match_offsets(pattern, data) == re_end_offsets(
+            pattern, data, anchored
+        ), pattern
+
+
+class TestStructure:
+    def test_unanchored_gets_star_hub(self):
+        automaton = compile_pattern("ab")
+        hub = automaton.state(0)
+        assert hub.label == CharClass.full()
+        assert hub.start is StartKind.START_OF_DATA
+        assert automaton.has_self_loop(0)
+
+    def test_anchored_has_no_hub(self):
+        automaton = compile_pattern("^ab")
+        assert all(not s.label.is_full() for s in automaton.states())
+
+    def test_one_state_per_position(self):
+        # ^a(b|c)d has 4 positions.
+        automaton = compile_pattern("^a(b|c)d")
+        assert automaton.num_states == 4
+
+    def test_report_code_assignment(self):
+        automaton = compile_pattern("^ab", report_code=17)
+        reports = run_automaton(automaton, b"ab").report_set
+        assert {r.code for r in reports} == {17}
+
+    def test_multiple_last_positions_all_report(self):
+        automaton = compile_pattern("^a(b|c)")
+        reporting = automaton.reporting_states()
+        assert len(reporting) == 2
+
+    def test_empty_matching_pattern_rejected(self):
+        with pytest.raises(RegexSyntaxError, match="empty string"):
+            compile_pattern("a*")
+        with pytest.raises(RegexSyntaxError, match="empty string"):
+            compile_pattern("")
+
+    def test_nullable_via_alternation_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_pattern("a|")
+
+
+class TestRuleset:
+    def test_codes_identify_rules(self):
+        automaton, _ = compile_ruleset(["^ab", "^cd"])
+        reports = run_automaton(automaton, b"cd").report_set
+        assert {r.code for r in reports} == {1}
+
+    def test_rule_count_in_stats(self):
+        _, stats = compile_ruleset(["^ab", "^cd", "^ef"])
+        assert stats.num_rules == 3
+
+    def test_prefix_merge_compresses_shared_prefixes(self):
+        patterns = ["^abcx", "^abcy", "^abcz"]
+        _, merged_stats = compile_ruleset(patterns, prefix_merge=True)
+        _, raw_stats = compile_ruleset(patterns, prefix_merge=False)
+        assert merged_stats.states_after_merge < raw_stats.states_after_merge
+        assert merged_stats.compression > 0
+
+    def test_merge_preserves_reports(self):
+        patterns = ["abcx", "abcy", "ab"]
+        merged, _ = compile_ruleset(patterns, prefix_merge=True)
+        raw, _ = compile_ruleset(patterns, prefix_merge=False)
+        data = b"zabcx abcy ab"
+        merged_reports = {
+            (r.offset, r.code) for r in run_automaton(merged, data).report_set
+        }
+        raw_reports = {
+            (r.offset, r.code) for r in run_automaton(raw, data).report_set
+        }
+        assert merged_reports == raw_reports
+
+    def test_hubs_shared_after_merge(self):
+        merged, _ = compile_ruleset(["ab", "cd", "ef"], prefix_merge=True)
+        hubs = [s for s in merged.states() if s.label.is_full()]
+        assert len(hubs) == 1
+
+
+class TestCaseInsensitive:
+    def test_nocase_matches_both_cases(self):
+        from repro.regex.ruleset import compile_ruleset as cr
+
+        automaton, _ = cr(["attack"], case_insensitive=True)
+        for text in (b"attack", b"ATTACK", b"AtTaCk"):
+            assert run_automaton(automaton, text).report_set, text
+
+    def test_nocase_widens_classes(self):
+        from repro.regex.ruleset import compile_ruleset as cr
+
+        automaton, _ = cr(["[a-c]x"], case_insensitive=True)
+        assert run_automaton(automaton, b"Bx").report_set
+        assert not run_automaton(automaton, b"Dx").report_set
+
+    def test_nocase_leaves_digits_alone(self):
+        from repro.regex.ruleset import compile_ruleset as cr
+
+        automaton, _ = cr(["a7"], case_insensitive=True)
+        assert run_automaton(automaton, b"A7").report_set
+        assert not run_automaton(automaton, b"A8").report_set
+
+    def test_nocase_preserves_quantifiers(self):
+        from repro.regex.ruleset import compile_ruleset as cr
+
+        automaton, _ = cr(["ab+c"], case_insensitive=True)
+        assert run_automaton(automaton, b"ABBBC").report_set
+
+    def test_case_sensitive_default(self):
+        from repro.regex.ruleset import compile_ruleset as cr
+
+        automaton, _ = cr(["attack"])
+        assert not run_automaton(automaton, b"ATTACK").report_set

@@ -1,0 +1,164 @@
+"""Unit tests for the regex parser."""
+
+import pytest
+
+from repro.automata.charclass import CharClass
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import Alt, Concat, Empty, Literal, Optional, Plus, Repeat, Star
+from repro.regex.parser import parse
+
+
+class TestAtoms:
+    def test_single_literal(self):
+        parsed = parse("a")
+        assert parsed.ast == Literal(CharClass.single("a"))
+        assert not parsed.anchored
+
+    def test_concatenation(self):
+        parsed = parse("ab")
+        assert parsed.ast == Concat(
+            Literal(CharClass.single("a")), Literal(CharClass.single("b"))
+        )
+
+    def test_dot_is_full_class(self):
+        assert parse(".").ast == Literal(CharClass.full())
+
+    def test_empty_pattern(self):
+        assert parse("").ast == Empty()
+
+    def test_anchor_flag(self):
+        assert parse("^abc").anchored
+        assert not parse("abc").anchored
+
+    def test_group_is_transparent(self):
+        assert parse("(ab)").ast == parse("ab").ast
+
+    def test_non_capturing_group(self):
+        assert parse("(?:ab)").ast == parse("ab").ast
+
+
+class TestQuantifiers:
+    def test_star(self):
+        assert parse("a*").ast == Star(Literal(CharClass.single("a")))
+
+    def test_plus(self):
+        assert parse("a+").ast == Plus(Literal(CharClass.single("a")))
+
+    def test_optional(self):
+        assert parse("a?").ast == Optional(Literal(CharClass.single("a")))
+
+    def test_exact_repeat(self):
+        assert parse("a{3}").ast == Repeat(Literal(CharClass.single("a")), 3, 3)
+
+    def test_bounded_repeat(self):
+        assert parse("a{2,5}").ast == Repeat(Literal(CharClass.single("a")), 2, 5)
+
+    def test_unbounded_repeat(self):
+        assert parse("a{2,}").ast == Repeat(Literal(CharClass.single("a")), 2, None)
+
+    def test_quantifier_binds_to_group(self):
+        parsed = parse("(ab)*")
+        assert isinstance(parsed.ast, Star)
+
+    def test_stacked_quantifiers(self):
+        assert parse("a*?").ast == Optional(Star(Literal(CharClass.single("a"))))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{5,2}")
+
+    def test_dangling_quantifier_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*a")
+
+
+class TestAlternation:
+    def test_two_branches(self):
+        assert parse("a|b").ast == Alt(
+            Literal(CharClass.single("a")), Literal(CharClass.single("b"))
+        )
+
+    def test_alternation_binds_loosest(self):
+        parsed = parse("ab|cd")
+        assert isinstance(parsed.ast, Alt)
+        assert isinstance(parsed.ast.left, Concat)
+
+    def test_empty_branch(self):
+        parsed = parse("a|")
+        assert parsed.ast == Alt(Literal(CharClass.single("a")), Empty())
+
+
+class TestCharClasses:
+    def test_simple_class(self):
+        assert parse("[abc]").ast == Literal(CharClass("abc"))
+
+    def test_range(self):
+        assert parse("[a-c]").ast == Literal(CharClass.range("a", "c"))
+
+    def test_mixed_range_and_singles(self):
+        assert parse("[a-cx]").ast == Literal(CharClass("abcx"))
+
+    def test_negated_class(self):
+        klass = parse("[^ab]").ast.klass
+        assert "a" not in klass and "c" in klass
+        assert len(klass) == 254
+
+    def test_literal_dash_at_end(self):
+        assert parse("[a-]").ast == Literal(CharClass("a-"))
+
+    def test_closing_bracket_first_is_literal(self):
+        assert parse("[]a]").ast == Literal(CharClass("]a"))
+
+    def test_escape_inside_class(self):
+        assert parse(r"[\d]").ast == Literal(CharClass.range("0", "9"))
+
+    def test_unterminated_class_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+
+class TestEscapes:
+    def test_predefined_classes(self):
+        assert parse(r"\d").ast == Literal(CharClass.range("0", "9"))
+        assert parse(r"\D").ast == Literal(CharClass.range("0", "9").complement())
+        assert "a" in parse(r"\w").ast.klass
+        assert " " in parse(r"\s").ast.klass
+        assert " " not in parse(r"\S").ast.klass
+
+    def test_control_escapes(self):
+        assert parse(r"\n").ast == Literal(CharClass(["\n"]))
+        assert parse(r"\t").ast == Literal(CharClass(["\t"]))
+
+    def test_hex_escape(self):
+        assert parse(r"\x41").ast == Literal(CharClass.single("A"))
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(r"\xZZ")
+
+    def test_escaped_metacharacters(self):
+        assert parse(r"\.").ast == Literal(CharClass.single("."))
+        assert parse(r"\*").ast == Literal(CharClass.single("*"))
+        assert parse(r"\\").ast == Literal(CharClass.single("\\"))
+
+    def test_unknown_alnum_escape_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(r"\q")
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+    def test_dollar_unsupported(self):
+        with pytest.raises(RegexSyntaxError, match="not supported"):
+            parse("ab$")
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as exc_info:
+            parse("ab)")
+        assert exc_info.value.position == 2
+        assert exc_info.value.pattern == "ab)"

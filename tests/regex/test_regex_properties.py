@@ -1,0 +1,125 @@
+"""Property-based tests for the regex engine against Python's `re`."""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.execution import run_automaton
+from repro.errors import RegexSyntaxError
+from repro.regex.compiler import compile_pattern
+from repro.regex.parser import parse
+
+# A recursive strategy over the supported regex AST, rendered as text.
+literals = st.sampled_from(list("abcd"))
+
+
+def _render_class(chars):
+    return "[" + "".join(sorted(set(chars))) + "]"
+
+
+atoms = st.one_of(
+    literals,
+    st.lists(literals, min_size=1, max_size=3).map(_render_class),
+    st.just("."),
+)
+
+
+def _quantify(inner):
+    return st.one_of(
+        st.just(inner),
+        st.just(f"{inner}?"),
+        st.just(f"{inner}*"),
+        st.just(f"{inner}+"),
+        st.just(inner + "{1,2}"),
+        st.just(inner + "{2}"),
+    )
+
+
+def patterns(depth=2):
+    if depth == 0:
+        return atoms.flatmap(_quantify)
+    sub = patterns(depth - 1)
+    return st.one_of(
+        atoms.flatmap(_quantify),
+        st.tuples(sub, sub).map(lambda p: p[0] + p[1]),
+        st.tuples(sub, sub).map(lambda p: f"({p[0]}|{p[1]})"),
+        sub.map(lambda p: f"({p})").flatmap(_quantify),
+    )
+
+
+inputs = st.binary(min_size=0, max_size=24).map(
+    lambda raw: bytes(b"abcde"[b % 5] for b in raw)
+)
+
+
+def re_end_offsets(pattern: str, data: bytes, anchored: bool) -> set[int]:
+    compiled = re.compile(
+        pattern.lstrip("^").encode("latin-1"), re.DOTALL
+    )
+    offsets = set()
+    for end in range(1, len(data) + 1):
+        starts = [0] if anchored else range(end)
+        for start in starts:
+            if compiled.fullmatch(data, start, end):
+                offsets.add(end - 1)
+                break
+    return offsets
+
+
+@settings(max_examples=150, deadline=None)
+@given(pattern=patterns(), data=inputs, anchored=st.booleans())
+def test_compiler_matches_python_re(pattern, data, anchored):
+    text = ("^" if anchored else "") + pattern
+    try:
+        automaton = compile_pattern(text)
+    except RegexSyntaxError:
+        # Nullable patterns are rejected by design; nothing to compare.
+        return
+    ours = {r.offset for r in run_automaton(automaton, data).report_set}
+    assert ours == re_end_offsets(pattern, data, anchored), text
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=patterns())
+def test_parse_compile_never_crashes(pattern):
+    try:
+        parsed = parse(pattern)
+    except RegexSyntaxError:
+        return
+    try:
+        automaton = compile_pattern(parsed)
+    except RegexSyntaxError:
+        return  # nullable
+    automaton.validate()
+
+
+@settings(max_examples=100, deadline=None)
+@given(pattern=patterns(), data=inputs)
+def test_glushkov_size_is_linear_in_positions(pattern, data):
+    """Glushkov's guarantee: one state per literal position (plus the
+    optional hub), independent of the input."""
+    try:
+        parsed = parse(pattern)
+    except RegexSyntaxError:
+        return
+    from repro.regex.ast import Literal, expand_repeats
+
+    def count_positions(node):
+        if isinstance(node, Literal):
+            return 1
+        total = 0
+        for field in getattr(node, "__dataclass_fields__", {}):
+            child = getattr(node, field)
+            if hasattr(child, "__dataclass_fields__"):
+                total += count_positions(child)
+        return total
+
+    try:
+        automaton = compile_pattern(parsed)
+    except RegexSyntaxError:
+        return
+    positions = count_positions(expand_repeats(parsed.ast))
+    expected = positions + (0 if parsed.anchored else 1)
+    assert automaton.num_states == expected
+    del data

@@ -1,0 +1,81 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.sim.plots import bar_chart, grouped_bar_chart, histogram
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart([("half", 5.0), ("full", 10.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart([("a", 1.0), ("longer", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index("1.00") == lines[1].index("2.00")
+
+    def test_reference_marker(self):
+        text = bar_chart([("x", 4.0)], reference=8.0, width=8)
+        assert "|" in text
+        assert "ideal = 8" in text
+        assert text.splitlines()[0].count("#") == 4
+
+    def test_values_clip_at_reference(self):
+        text = bar_chart([("x", 20.0)], reference=10.0, width=10)
+        assert text.splitlines()[0].count("#") == 10
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart([("a", 1.0), ("b", 1000.0)], width=30)
+        logged = bar_chart(
+            [("a", 1.0), ("b", 1000.0)], width=30, log_scale=True
+        )
+        small_linear = linear.splitlines()[0].count("#")
+        small_logged = logged.splitlines()[0].count("#")
+        assert small_logged > small_linear
+        assert "(log scale)" in logged
+
+    def test_zero_and_negative_safe(self):
+        text = bar_chart([("zero", 0.0)])
+        assert "#" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_unit_suffix(self):
+        assert "%" in bar_chart([("x", 3.0)], unit="%")
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        text = grouped_bar_chart(
+            [("bench", [100.0, 10.0, 1.0])],
+            ["range", "cc", "active"],
+        )
+        assert "bench [range]" in text
+        assert "bench [active]" in text
+
+    def test_empty(self):
+        assert grouped_bar_chart([], ["a"]) == "(no data)"
+
+
+class TestHistogram:
+    def test_bins_cover_values(self):
+        import re
+
+        text = histogram([1.0, 2.0, 2.5, 9.0], bins=4)
+        assert text.count("\n") == 3
+        counts = [
+            int(re.search(r"\)\s+(\d+)", line).group(1))
+            for line in text.splitlines()
+        ]
+        assert sum(counts) == 4
+
+    def test_degenerate_single_value(self):
+        text = histogram([5.0, 5.0])
+        assert "x2" in text
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"

@@ -1,0 +1,64 @@
+"""Tests for loading/exporting benchmarks as ANML files."""
+
+import pytest
+
+from repro.ap.sequential import run_sequential
+from repro.sim.runner import run_benchmark
+from repro.workloads.anml_io import (
+    export_benchmark,
+    load_anml_benchmark,
+    roundtrip_benchmark,
+)
+from repro.workloads.suite import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return build_benchmark("Bro217", scale=0.05, seed=0)
+
+
+class TestExportImport:
+    def test_roundtrip_preserves_structure(self, bench, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("anml")
+        loaded = roundtrip_benchmark(bench, directory)
+        assert loaded.automaton.num_states == bench.automaton.num_states
+        assert loaded.paper.components == len(
+            __import__(
+                "repro.automata.analysis", fromlist=["AutomatonAnalysis"]
+            ).AutomatonAnalysis(bench.automaton).connected_components()
+        )
+
+    def test_roundtrip_preserves_matching(self, bench, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("anml")
+        loaded = roundtrip_benchmark(bench, directory)
+        data = loaded.trace(4_096, 1)
+        original = run_sequential(bench.automaton, data)
+        reloaded = run_sequential(loaded.automaton, data)
+        assert reloaded.reports == original.reports
+
+    def test_loaded_benchmark_runs_through_harness(
+        self, bench, tmp_path_factory
+    ):
+        directory = tmp_path_factory.mktemp("anml")
+        loaded = roundtrip_benchmark(bench, directory)
+        run = run_benchmark(loaded, ranks=1, trace_bytes=4_096)
+        assert run.reports_match
+
+    def test_trace_file_wraps(self, bench, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("anml")
+        loaded = roundtrip_benchmark(bench, directory)
+        long = loaded.trace(40_000, 1)
+        assert len(long) == 40_000
+
+    def test_missing_trace_rejected_on_use(self, bench, tmp_path):
+        anml_path = tmp_path / "machine.anml"
+        export_benchmark(bench, anml_path)
+        loaded = load_anml_benchmark(anml_path)
+        with pytest.raises(ValueError, match="without a trace"):
+            loaded.trace(100, 1)
+
+    def test_half_core_override(self, bench, tmp_path):
+        anml_path = tmp_path / "machine.anml"
+        export_benchmark(bench, anml_path)
+        loaded = load_anml_benchmark(anml_path, half_cores=3)
+        assert loaded.half_cores == 3

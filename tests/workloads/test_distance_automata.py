@@ -1,0 +1,144 @@
+"""Oracle-checked tests for the Hamming and Levenshtein automata."""
+
+import random
+
+import pytest
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.execution import run_automaton
+from repro.errors import ConfigurationError
+from repro.workloads.hamming import (
+    hamming_automaton,
+    hamming_benchmark,
+    hamming_matches,
+)
+from repro.workloads.levenshtein import (
+    levenshtein_automaton,
+    levenshtein_benchmark,
+    levenshtein_matches,
+)
+
+
+class TestHammingOracle:
+    @pytest.mark.parametrize("distance", [0, 1, 2])
+    def test_matches_equal_bruteforce(self, distance):
+        rng = random.Random(distance)
+        reference = b"ACGTAC"
+        automaton = hamming_automaton(reference, distance)
+        for _ in range(20):
+            data = bytes(rng.choice(b"ACGT") for _ in range(50))
+            got = {r.offset for r in run_automaton(automaton, data).report_set}
+            assert got == hamming_matches(reference, data, distance)
+
+    def test_exact_match_at_distance_zero(self):
+        automaton = hamming_automaton(b"ACG", 0)
+        reports = run_automaton(automaton, b"xACGx").report_set
+        assert {r.offset for r in reports} == {3}
+
+    def test_distance_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            hamming_automaton(b"ACG", 3)
+        with pytest.raises(ConfigurationError):
+            hamming_automaton(b"", 0)
+
+    def test_anchored_variant(self):
+        automaton = hamming_automaton(b"ACG", 1, unanchored=False)
+        hit = run_automaton(automaton, b"ACC").report_set
+        miss = run_automaton(automaton, b"xACG").report_set
+        assert hit and not miss
+
+    def test_report_code(self):
+        automaton = hamming_automaton(b"ACG", 1, report_code=42)
+        reports = run_automaton(automaton, b"ACG").report_set
+        assert {r.code for r in reports} == {42}
+
+    def test_state_count_grid(self):
+        # length 6, distance 2: match states sum(min(i,2)+1) and miss
+        # states sum(min(i+1,2) for i>=0, from level 1), plus the hub.
+        automaton = hamming_automaton(b"ACGTAC", 2)
+        assert automaton.num_states == 27
+
+    def test_mismatch_states_dominate_range(self):
+        automaton, _ = hamming_benchmark(num_machines=4, pattern_length=8, distance=2)
+        analysis = AutomatonAnalysis(automaton)
+        # A non-DNA byte hits every complement-labeled (miss) state.
+        rng = analysis.symbol_range(ord("z"))
+        assert len(rng) > automaton.num_states * 0.3
+
+
+class TestLevenshteinOracle:
+    @pytest.mark.parametrize("distance", [1, 2])
+    def test_matches_equal_dp(self, distance):
+        rng = random.Random(distance + 10)
+        reference = b"ACGTA"
+        automaton = levenshtein_automaton(reference, distance)
+        for _ in range(20):
+            data = bytes(rng.choice(b"ACGT") for _ in range(40))
+            got = {r.offset for r in run_automaton(automaton, data).report_set}
+            assert got == levenshtein_matches(reference, data, distance)
+
+    def test_insertion_detected(self):
+        automaton = levenshtein_automaton(b"ACGT", 1)
+        # ACXGT = ACGT with one inserted X.
+        reports = run_automaton(automaton, b"ACXGT").report_set
+        assert 4 in {r.offset for r in reports}
+
+    def test_deletion_detected(self):
+        automaton = levenshtein_automaton(b"ACGT", 1)
+        reports = run_automaton(automaton, b"AGT").report_set
+        assert 2 in {r.offset for r in reports}
+
+    def test_substitution_detected(self):
+        automaton = levenshtein_automaton(b"ACGT", 1)
+        reports = run_automaton(automaton, b"AXGT").report_set
+        assert 3 in {r.offset for r in reports}
+
+    def test_beyond_distance_rejected(self):
+        automaton = levenshtein_automaton(b"ACGT", 1)
+        reports = run_automaton(automaton, b"XXGX").report_set
+        assert 3 not in {r.offset for r in reports}
+
+    def test_distance_ge_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            levenshtein_automaton(b"AC", 2)
+
+
+class TestBenchmarkBuilders:
+    def test_hamming_benchmark_components(self):
+        automaton, references = hamming_benchmark(
+            num_machines=5, pattern_length=6, distance=1
+        )
+        assert len(references) == 5
+        analysis = AutomatonAnalysis(automaton)
+        assert len(analysis.connected_components()) == 5
+
+    def test_levenshtein_benchmark_bridged_components(self):
+        automaton, references = levenshtein_benchmark(
+            num_components=3,
+            patterns_per_component=2,
+            pattern_length=6,
+            distance=1,
+        )
+        assert len(references) == 6
+        analysis = AutomatonAnalysis(automaton)
+        assert len(analysis.connected_components()) == 3
+
+    def test_bridge_is_semantically_inert(self):
+        rng = random.Random(0)
+        bridged, references = levenshtein_benchmark(
+            num_components=1,
+            patterns_per_component=2,
+            pattern_length=5,
+            distance=1,
+            seed=3,
+        )
+        data = bytes(rng.choice(b"ACGT") for _ in range(120))
+        got = {
+            (r.offset, r.code)
+            for r in run_automaton(bridged, data).report_set
+        }
+        expected = set()
+        for code, reference in enumerate(references):
+            for offset in levenshtein_matches(reference, data, 1):
+                expected.add((offset, code))
+        assert got == expected

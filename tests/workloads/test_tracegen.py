@@ -1,0 +1,101 @@
+"""Unit tests for trace generation."""
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.anml import Automaton
+from repro.automata.execution import run_automaton
+from repro.errors import ConfigurationError
+from repro.workloads.tracegen import (
+    alphabet_trace,
+    embed_matches,
+    mixed_trace,
+    pm_trace,
+)
+
+
+@pytest.fixture
+def ruleset():
+    automaton = Automaton()
+    hub = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub, builder.classes_for("needle"))
+    builder.attach_pattern(automaton, hub, builder.classes_for("haystk"))
+    return automaton
+
+
+class TestPmTrace:
+    def test_length_and_determinism(self, ruleset):
+        first = pm_trace(ruleset, 500, seed=3)
+        second = pm_trace(ruleset, 500, seed=3)
+        assert len(first) == 500
+        assert first == second
+        assert pm_trace(ruleset, 500, seed=4) != first
+
+    def test_high_pm_drives_matches(self, ruleset):
+        matchy = pm_trace(ruleset, 3000, pm=0.95, seed=1)
+        random_ish = pm_trace(ruleset, 3000, pm=0.0, seed=1)
+        deep = len(run_automaton(ruleset, matchy).reports)
+        shallow = len(run_automaton(ruleset, random_ish).reports)
+        assert deep >= shallow
+
+    def test_pm_drives_activity_not_just_reports(self, ruleset):
+        matchy = pm_trace(ruleset, 2000, pm=0.9, seed=5)
+        cold = pm_trace(ruleset, 2000, pm=0.0, seed=5)
+        assert (
+            run_automaton(ruleset, matchy).transitions
+            > run_automaton(ruleset, cold).transitions
+        )
+
+    def test_invalid_pm_rejected(self, ruleset):
+        with pytest.raises(ConfigurationError):
+            pm_trace(ruleset, 10, pm=1.5)
+
+    def test_zero_length(self, ruleset):
+        assert pm_trace(ruleset, 0) == b""
+
+    def test_automaton_without_starts(self):
+        assert len(pm_trace(Automaton(), 16, seed=1)) == 16
+
+
+class TestAlphabetTraces:
+    def test_alphabet_trace_stays_in_alphabet(self):
+        trace = alphabet_trace(b"ACGT", 200, seed=2)
+        assert len(trace) == 200
+        assert set(trace) <= set(b"ACGT")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alphabet_trace(b"", 10)
+
+    def test_mixed_trace_noise_floor(self):
+        trace = mixed_trace(b"A", 5000, noise=0.2, seed=1)
+        noise_bytes = sum(1 for b in trace if b != ord("A"))
+        assert 500 < noise_bytes < 1500  # ~20% +- slack
+
+    def test_mixed_trace_zero_noise(self):
+        trace = mixed_trace(b"XY", 100, noise=0.0, seed=1)
+        assert set(trace) <= set(b"XY")
+
+    def test_mixed_trace_validates_noise(self):
+        with pytest.raises(ConfigurationError):
+            mixed_trace(b"A", 10, noise=2.0)
+
+
+class TestEmbedMatches:
+    def test_snippets_present(self):
+        base = alphabet_trace(b"z", 1000, seed=0)
+        out = embed_matches(base, [b"needle"], every=100, seed=1)
+        assert len(out) == len(base)
+        assert out.count(b"needle") >= 8
+
+    def test_no_snippets_is_identity(self):
+        base = b"abcdef"
+        assert embed_matches(base, [], every=2) == base
+
+    def test_snippet_truncated_at_end(self):
+        out = embed_matches(b"zzzz", [b"longsnippet"], every=1, seed=0)
+        assert len(out) == 4
+
+    def test_interval_validated(self):
+        with pytest.raises(ConfigurationError):
+            embed_matches(b"zz", [b"a"], every=0)
