@@ -22,7 +22,6 @@ from conftest import publish, trace_budget
 from repro.ap.geometry import BoardGeometry
 from repro.core.config import PAPConfig
 from repro.core.speculation import SpeculativeAutomataProcessor
-from repro.sim.runner import run_benchmark
 
 SPECULATION_BENCHMARKS = (
     "ExactMatch",

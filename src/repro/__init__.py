@@ -15,7 +15,9 @@ The package implements, from scratch:
 * the 19 evaluation workloads and trace generators —
   :mod:`repro.workloads`;
 * the experiment harness regenerating every table and figure —
-  :mod:`repro.sim`.
+  :mod:`repro.sim`;
+* a static-analysis pass ("apcheck") over automata, parallelization
+  risk, and AP capacity — :mod:`repro.lint`.
 
 Quickstart::
 
@@ -56,6 +58,7 @@ from repro.core import (
     PAPRunResult,
     ParallelAutomataProcessor,
 )
+from repro.lint import LintConfig, LintReport, Severity, run_lint
 from repro.regex import compile_pattern, compile_ruleset
 
 __version__ = "1.0.0"
@@ -69,8 +72,11 @@ __all__ = [
     "CharClass",
     "DEFAULT_CONFIG",
     "FOUR_RANKS",
+    "LintConfig",
+    "LintReport",
     "Nfa",
     "ONE_RANK",
+    "Severity",
     "PAPConfig",
     "PAPRunResult",
     "ParallelAutomataProcessor",
@@ -80,6 +86,7 @@ __all__ = [
     "compile_pattern",
     "compile_ruleset",
     "run_automaton",
+    "run_lint",
     "run_sequential",
     "__version__",
 ]

@@ -14,7 +14,7 @@ so the multiplexing overhead and fairness are measurable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.automata.anml import Automaton
 from repro.automata.execution import (

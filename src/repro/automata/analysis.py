@@ -36,11 +36,21 @@ class AutomatonAnalysis:
         self._components: list[frozenset[int]] | None = None
         self._always_active: frozenset[int] | None = None
         self._reachable: frozenset[int] | None = None
+        self._coreachable: frozenset[int] | None = None
 
     # -- cache hygiene ---------------------------------------------------
 
+    def is_fresh(self) -> bool:
+        """True while the automaton has not mutated since construction.
+
+        Every query method raises :class:`AutomatonError` once this goes
+        false; :mod:`repro.lint` surfaces the same condition as the
+        ``AP009`` diagnostic instead of a deep failure.
+        """
+        return self.automaton.version == self._version
+
     def _check_fresh(self) -> None:
-        if self.automaton.version != self._version:
+        if not self.is_fresh():
             raise AutomatonError(
                 "automaton mutated after analysis was constructed; "
                 "build a new AutomatonAnalysis"
@@ -229,6 +239,37 @@ class AutomatonAnalysis:
                         frontier.append(dst)
             self._reachable = frozenset(seen)
         return self._reachable
+
+    def coreachable_states(self) -> frozenset[int]:
+        """States from which some reporting state is reachable along
+        edges (reporting states included).  Empty when the automaton has
+        no reporting states."""
+        self._check_fresh()
+        if self._coreachable is None:
+            automaton = self.automaton
+            seen = set(automaton.reporting_states())
+            frontier = list(seen)
+            while frontier:
+                sid = frontier.pop()
+                for src in automaton.predecessors(sid):
+                    if src not in seen:
+                        seen.add(src)
+                        frontier.append(src)
+            self._coreachable = frozenset(seen)
+        return self._coreachable
+
+    def dead_states(self) -> frozenset[int]:
+        """Reachable states that can never contribute to a report.
+
+        A state is dead when it is reachable from a start state but no
+        reporting state is reachable from it.  For automata with no
+        reporting states at all (pure filters are legal) the notion is
+        vacuous and the result is empty.
+        """
+        self._check_fresh()
+        if not self.automaton.reporting_states():
+            return frozenset()
+        return self.reachable_states() - self.coreachable_states()
 
     # -- parents ------------------------------------------------------------
 

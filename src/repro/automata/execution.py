@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.automata.anml import Automaton, StartKind
+from repro.automata.anml import Automaton
 
 
 @dataclass(frozen=True, order=True)

@@ -50,8 +50,15 @@ def automaton_to_dict(automaton: Automaton) -> dict[str, Any]:
     }
 
 
-def automaton_from_dict(payload: dict[str, Any]) -> Automaton:
-    """Deserialize; validates ids are dense and the structure is sound."""
+def automaton_from_dict(
+    payload: dict[str, Any], *, validate: bool = True
+) -> Automaton:
+    """Deserialize; validates ids are dense and the structure is sound.
+
+    ``validate=False`` skips :meth:`Automaton.validate` so diagnostic
+    tooling (``repro lint``) can load a structurally broken automaton
+    and report on it instead of refusing to look at it.
+    """
     if payload.get("schema") != SCHEMA_VERSION:
         raise AutomatonError(
             f"unsupported ANML-lite schema: {payload.get('schema')!r}"
@@ -72,7 +79,8 @@ def automaton_from_dict(payload: dict[str, Any]) -> Automaton:
         )
     for src, dst in payload.get("edges", []):
         automaton.add_edge(src, dst)
-    automaton.validate()
+    if validate:
+        automaton.validate()
     return automaton
 
 
@@ -81,6 +89,6 @@ def dumps(automaton: Automaton, *, indent: int | None = None) -> str:
     return json.dumps(automaton_to_dict(automaton), indent=indent)
 
 
-def loads(text: str) -> Automaton:
+def loads(text: str, *, validate: bool = True) -> Automaton:
     """Deserialize from a JSON string."""
-    return automaton_from_dict(json.loads(text))
+    return automaton_from_dict(json.loads(text), validate=validate)

@@ -5,6 +5,7 @@
 * ``list`` — the 19 evaluation benchmarks and their Table 1 rows;
 * ``run`` — one benchmark end to end (baseline vs. PAP) with metrics;
 * ``match`` — compile patterns and scan a file, sequential vs. PAP;
+* ``lint`` — static diagnostics (apcheck) for automata and deployments;
 * ``table1`` / ``fig3`` — regenerate the characterization tables;
 * ``speculate`` — the speculation extension on one benchmark.
 """
@@ -21,6 +22,19 @@ from repro.core.ranges import choose_partition_symbol, range_profile
 from repro.core.speculation import SpeculativeAutomataProcessor
 from repro.ap.geometry import BoardGeometry
 from repro.ap.sequential import run_sequential
+from repro.automata.anml import Automaton
+from repro.automata.anml_xml import automaton_from_anml_xml
+from repro.automata.serialization import loads as automaton_loads
+from repro.errors import AutomatonError, ConfigurationError
+from repro.lint import (
+    FAMILIES,
+    LintConfig,
+    Severity,
+    render_json,
+    render_text,
+    rules_for,
+    run_lint,
+)
 from repro.regex.ruleset import compile_ruleset
 from repro.sim.report import format_figure3, format_table1
 from repro.sim.runner import run_benchmark
@@ -108,6 +122,69 @@ def _cmd_match(args: argparse.Namespace) -> int:
     for report in sorted(result.reports)[:limit]:
         print(f"  rule {report.code} at offset {report.offset}")
     return 0 if status == "OK" else 1
+
+
+def _lint_target(name: str, args: argparse.Namespace) -> Automaton:
+    """Resolve one lint target: benchmark name, ANML-lite JSON, or
+    ANML XML file."""
+    if name in BENCHMARK_NAMES:
+        bench = build_benchmark(name, scale=args.scale, seed=args.seed)
+        return bench.automaton
+    # Files load WITHOUT Automaton.validate: reporting AP001/AP002/AP003
+    # on a broken automaton is the linter's job, not a crash.
+    try:
+        if name.endswith(".json"):
+            with open(name, "r", encoding="utf-8") as handle:
+                return automaton_loads(handle.read(), validate=False)
+        if name.endswith((".anml", ".xml")):
+            with open(name, "r", encoding="utf-8") as handle:
+                return automaton_from_anml_xml(
+                    handle.read(), validate=False
+                )
+    except (OSError, ValueError, AutomatonError) as error:
+        raise SystemExit(f"cannot load {name!r}: {error}") from error
+    raise SystemExit(
+        f"unknown lint target {name!r}: not a benchmark name "
+        f"(see `repro list`) or a .json/.anml/.xml automaton file"
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    targets = list(args.target)
+    if args.suite:
+        targets.extend(BENCHMARK_NAMES)
+    if not targets:
+        raise SystemExit("no lint targets: pass names/files or --suite")
+    families = None
+    if args.rules:
+        families = tuple(
+            family for family in args.rules.split(",") if family
+        )
+        try:
+            rules_for(families)
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from error
+    config = LintConfig(
+        geometry=BoardGeometry(ranks=args.ranks),
+        counters_used=args.counters,
+        booleans_used=args.booleans,
+    )
+    min_severity = Severity.parse(args.severity)
+    reports = []
+    for name in targets:
+        automaton = _lint_target(name, args)
+        reports.append(
+            run_lint(automaton, config=config, families=families)
+        )
+    if args.format == "json":
+        print(render_json(reports, min_severity=min_severity))
+    else:
+        print(render_text(reports, min_severity=min_severity))
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    failed = any(len(r.at_least(threshold)) for r in reports)
+    return 1 if failed else 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -199,6 +276,60 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument("--ranks", type=int, default=1, choices=(1, 2, 4))
     match_parser.add_argument("--show", type=int, default=10)
 
+    lint_parser = commands.add_parser(
+        "lint",
+        help="static diagnostics for automata (apcheck)",
+        description=(
+            "Run the apcheck static-analysis pass: structural "
+            "well-formedness, parallelization risk, and AP capacity "
+            "diagnostics with stable AP0xx/AP1xx/AP2xx codes."
+        ),
+    )
+    lint_parser.add_argument(
+        "target",
+        nargs="*",
+        help="benchmark names (see `repro list`) or .json/.anml/.xml files",
+    )
+    lint_parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="lint every bundled benchmark generator",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default="",
+        help=f"comma-separated rule families ({', '.join(FAMILIES)})",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint_parser.add_argument(
+        "--severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        help="minimum severity to display",
+    )
+    lint_parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error", "never"),
+        default="error",
+        help="exit 1 when diagnostics at/above this severity exist",
+    )
+    lint_parser.add_argument("--ranks", type=int, default=4, choices=(1, 2, 4))
+    lint_parser.add_argument(
+        "--counters",
+        type=int,
+        default=0,
+        help="counter elements the deployment will program",
+    )
+    lint_parser.add_argument(
+        "--booleans",
+        type=int,
+        default=0,
+        help="boolean elements the deployment will program",
+    )
+    _add_common(lint_parser)
+
     table_parser = commands.add_parser(
         "table1", help="regenerate Table 1 characteristics"
     )
@@ -224,6 +355,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "match": _cmd_match,
+    "lint": _cmd_lint,
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
     "speculate": _cmd_speculate,

@@ -19,19 +19,22 @@ convergence points, where both flows' futures are provably identical).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.execution import Report
 from repro.core.scheduler import (
     ASG_FLOW_ID,
     GOLDEN_FLOW_ID,
+    PlannedFlow,
     SegmentResult,
 )
 from repro.errors import CompositionError
 
 
 def unit_truth_map(
-    result_plan_units, previous_matched: frozenset[int]
+    result_plan_units: Iterable[PlannedFlow],
+    previous_matched: frozenset[int],
 ) -> dict[int, bool]:
     """Truth verdict for every unit of a segment plan."""
     return {

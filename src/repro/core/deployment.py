@@ -55,14 +55,32 @@ def deploy_plan(
     plan: PAPPlan,
     *,
     analysis: AutomatonAnalysis | None = None,
+    lint: bool = True,
 ) -> Deployment:
     """Place one replica per segment and bind flows to cache slots.
 
-    Raises :class:`PlacementError` when the replicas do not fit the
-    board and :class:`CapacityError` when a segment plans more flows
-    than its device's state-vector cache holds.
+    Runs the structural lint gate first (opt out with ``lint=False``);
+    error-level diagnostics raise :class:`~repro.errors.LintError`
+    before any half-core is programmed.  Raises
+    :class:`PlacementError` when the replicas do not fit the board and
+    :class:`CapacityError` when a segment plans more flows than its
+    device's state-vector cache holds.
     """
     analysis = analysis or AutomatonAnalysis(automaton)
+    if lint:
+        # Imported here: repro.lint depends on repro.core helpers, so a
+        # module-level import would be circular.
+        from repro.lint.registry import LintConfig
+        from repro.lint.runner import lint_gate
+
+        lint_gate(
+            automaton,
+            config=LintConfig(
+                geometry=board.geometry,
+                max_flows=board.geometry.state_vector_cache_entries or 1,
+            ),
+            analysis=analysis,
+        )
     placement = place_automaton(
         automaton,
         capacity=board.geometry.stes_per_half_core,

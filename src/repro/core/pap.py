@@ -37,14 +37,14 @@ from repro.core.ranges import (
     choose_partition_symbol,
     enumeration_range,
 )
-from repro.core.scheduler import SegmentPlan, SegmentScheduler
+from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
 from repro.host.decode import false_path_decode_cycles
 from repro.host.reporting import report_processing_cycles
 
 _EMPTY_STATS = FlowReductionStats(0, 0, 0, 0)
 
 
-def _live_enumeration_flows(result) -> int:
+def _live_enumeration_flows(result: SegmentResult) -> int:
     """Enumeration flows still alive at a segment's end (ASG excluded)."""
     if result.plan.is_golden:
         return 0
@@ -78,6 +78,11 @@ class ParallelAutomataProcessor:
         The FSM's half-core footprint.  Defaults to capacity-based
         placement; pass the paper's Table 1 values to reproduce its
         segment counts for the large benchmarks that route poorly.
+    lint:
+        Run the structural lint gate (:mod:`repro.lint`) before
+        accepting the automaton; error-level diagnostics raise
+        :class:`~repro.errors.LintError`.  Pass ``False`` to opt out
+        (e.g. for deliberately pathological inputs in experiments).
     """
 
     def __init__(
@@ -86,11 +91,27 @@ class ParallelAutomataProcessor:
         *,
         config: PAPConfig = DEFAULT_CONFIG,
         half_cores: int | None = None,
+        lint: bool = True,
     ) -> None:
-        automaton.validate()
         self.automaton = automaton
         self.config = config
         self.analysis = AutomatonAnalysis(automaton)
+        if lint:
+            # Imported here: repro.lint depends on repro.core helpers,
+            # so a module-level import would be circular.
+            from repro.lint.registry import LintConfig
+            from repro.lint.runner import lint_gate
+
+            # The structural lint family subsumes Automaton.validate
+            # (AP001/AP002/AP003 are its three checks) and raises the
+            # richer LintError with the full report attached.
+            lint_gate(
+                automaton,
+                config=LintConfig(
+                    geometry=config.geometry, max_flows=config.max_flows
+                ),
+                analysis=self.analysis,
+            )
         self.compiled = CompiledAutomaton(automaton)
         if half_cores is None:
             half_cores = place_automaton(

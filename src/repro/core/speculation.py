@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Protocol
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton

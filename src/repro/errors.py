@@ -45,6 +45,20 @@ class ConfigurationError(ReproError):
     """Invalid user-supplied configuration values."""
 
 
+class LintError(ReproError):
+    """Static analysis refused an automaton or deployment.
+
+    Raised by the pre-deployment lint gate when error-level diagnostics
+    are present.  ``report`` carries the full
+    :class:`repro.lint.LintReport` so callers can render or inspect the
+    individual diagnostics.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class ExecutionError(ReproError):
     """Runtime failure of the functional automata executor."""
 

@@ -1,0 +1,63 @@
+"""repro.lint — the ``apcheck`` static-analysis pass.
+
+Pre-execution diagnostics for homogeneous automata and their AP
+deployments, in three rule families:
+
+* **structural** (``AP001``–``AP009``) — well-formedness: start/report
+  sanity, empty labels, dangling edges, unreachable and dead states,
+  stale-analysis misuse;
+* **parallel** (``AP101``–``AP105``) — parallelization risk: symbol
+  range blowup, enumeration-unit estimates, flow/state-vector-cache
+  pressure, always-active coverage (the paper's Section 3 properties);
+* **capacity** (``AP201``–``AP208``) — D480 budgets: half-core and
+  board STE capacity, output regions, counters/booleans, routing
+  pressure.
+
+Use :func:`run_lint` for a full report, :func:`lint_gate` as the
+raising pre-deployment check, and the renderers for output::
+
+    from repro.lint import run_lint, render_text
+
+    report = run_lint(automaton)
+    if report.has_errors:
+        print(render_text(report))
+"""
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import (
+    FAMILIES,
+    FAMILY_CAPACITY,
+    FAMILY_PARALLEL,
+    FAMILY_STRUCTURAL,
+    REGISTRY,
+    DEFAULT_LINT_CONFIG,
+    LintConfig,
+    LintContext,
+    LintRule,
+    rule,
+    rules_for,
+)
+from repro.lint.render import format_diagnostic, render_json, render_text
+from repro.lint.runner import lint_gate, run_lint
+
+__all__ = [
+    "DEFAULT_LINT_CONFIG",
+    "Diagnostic",
+    "FAMILIES",
+    "FAMILY_CAPACITY",
+    "FAMILY_PARALLEL",
+    "FAMILY_STRUCTURAL",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "REGISTRY",
+    "Severity",
+    "format_diagnostic",
+    "lint_gate",
+    "render_json",
+    "render_text",
+    "rule",
+    "rules_for",
+    "run_lint",
+]

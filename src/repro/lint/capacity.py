@@ -1,0 +1,234 @@
+"""Capacity rules (``AP201``–``AP208``): D480 hardware budgets.
+
+Checks the automaton against the board model of
+:mod:`repro.ap.geometry` and :mod:`repro.ap.placement`: components must
+fit a half-core (the routing matrix has no inter-half-core paths), the
+replica must fit the board, reporting states must fit the output
+regions, and counter/boolean budgets must hold.  Routing feasibility is
+a proxy — the real limit is place-and-route dependent — so edge
+pressure is a warning, never an error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.ap.geometry import (
+    BOOLEAN_ELEMENTS_PER_DEVICE,
+    COUNTERS_PER_DEVICE,
+)
+from repro.ap.placement import segments_available
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import FAMILY_CAPACITY, LintContext, rule
+
+
+def _devices_spanned(ctx: LintContext, half_cores: int) -> int:
+    per_device = ctx.config.geometry.half_cores_per_device
+    return max(1, math.ceil(half_cores / per_device))
+
+
+@rule(
+    "AP201",
+    "component-exceeds-half-core",
+    FAMILY_CAPACITY,
+    Severity.ERROR,
+    "a connected component is larger than one half-core",
+)
+def _component_too_big(ctx: LintContext) -> Iterator[Diagnostic]:
+    capacity = ctx.config.geometry.stes_per_half_core
+    for cid, members in enumerate(ctx.analysis.connected_components()):
+        if len(members) > capacity:
+            yield ctx.emit(
+                "AP201",
+                f"connected component {cid} has {len(members)} states, "
+                f"exceeding the {capacity}-STE half-core; the routing "
+                "matrix cannot split a component across half-cores",
+                states=sorted(members)[:16],
+                data={"component": cid, "size": len(members)},
+            )
+
+
+@rule(
+    "AP202",
+    "board-overflow",
+    FAMILY_CAPACITY,
+    Severity.ERROR,
+    "one FSM replica does not fit the configured board",
+)
+def _board_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    placement = ctx.placement()
+    if placement is None:
+        return  # AP201 reported the root cause.
+    board = ctx.config.geometry.half_cores
+    if placement.half_cores > board:
+        yield ctx.emit(
+            "AP202",
+            f"placement needs {placement.half_cores} half-cores; the "
+            f"configured board has {board}",
+            data={"needed": placement.half_cores, "available": board},
+        )
+
+
+@rule(
+    "AP203",
+    "no-parallel-segments",
+    FAMILY_CAPACITY,
+    Severity.WARNING,
+    "the board fits only one replica: no input-segment parallelism",
+)
+def _no_parallelism(ctx: LintContext) -> Iterator[Diagnostic]:
+    placement = ctx.placement()
+    if placement is None:
+        return
+    board = ctx.config.geometry.half_cores
+    if placement.half_cores > board:
+        return  # AP202 covers the outright overflow.
+    segments = segments_available(
+        ctx.config.geometry, placement.half_cores
+    )
+    if segments < 2:
+        yield ctx.emit(
+            "AP203",
+            f"the FSM occupies {placement.half_cores} of {board} "
+            "half-cores; only one replica fits, so PAP degenerates to "
+            "the sequential golden run",
+            data={"fsm_half_cores": placement.half_cores},
+        )
+
+
+@rule(
+    "AP204",
+    "output-region-overflow",
+    FAMILY_CAPACITY,
+    Severity.ERROR,
+    "more reporting states than output-region elements on the replica",
+)
+def _output_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    placement = ctx.placement()
+    if placement is None:
+        return
+    reporting = len(ctx.automaton.reporting_states())
+    devices = _devices_spanned(ctx, placement.half_cores)
+    budget = devices * ctx.config.reporting_elements_per_device
+    if reporting > budget:
+        yield ctx.emit(
+            "AP204",
+            f"{reporting} reporting states exceed the {budget} "
+            f"reporting elements of the {devices} device(s) the "
+            f"replica spans "
+            f"({ctx.config.reporting_elements_per_device} per device)",
+            data={"reporting": reporting, "budget": budget},
+        )
+
+
+@rule(
+    "AP205",
+    "counter-budget",
+    FAMILY_CAPACITY,
+    Severity.ERROR,
+    "requested counter elements exceed the per-device budget",
+)
+def _counter_budget(ctx: LintContext) -> Iterator[Diagnostic]:
+    if not ctx.config.counters_used:
+        return
+    placement = ctx.placement()
+    devices = _devices_spanned(
+        ctx, placement.half_cores if placement else 1
+    )
+    budget = devices * COUNTERS_PER_DEVICE
+    if ctx.config.counters_used > budget:
+        yield ctx.emit(
+            "AP205",
+            f"deployment requests {ctx.config.counters_used} counters; "
+            f"the replica's {devices} device(s) provide {budget} "
+            f"({COUNTERS_PER_DEVICE} per device)",
+            data={"requested": ctx.config.counters_used, "budget": budget},
+        )
+
+
+@rule(
+    "AP206",
+    "boolean-budget",
+    FAMILY_CAPACITY,
+    Severity.ERROR,
+    "requested boolean elements exceed the per-device budget",
+)
+def _boolean_budget(ctx: LintContext) -> Iterator[Diagnostic]:
+    if not ctx.config.booleans_used:
+        return
+    placement = ctx.placement()
+    devices = _devices_spanned(
+        ctx, placement.half_cores if placement else 1
+    )
+    budget = devices * BOOLEAN_ELEMENTS_PER_DEVICE
+    if ctx.config.booleans_used > budget:
+        yield ctx.emit(
+            "AP206",
+            f"deployment requests {ctx.config.booleans_used} boolean "
+            f"elements; the replica's {devices} device(s) provide "
+            f"{budget} ({BOOLEAN_ELEMENTS_PER_DEVICE} per device)",
+            data={"requested": ctx.config.booleans_used, "budget": budget},
+        )
+
+
+@rule(
+    "AP207",
+    "routing-pressure",
+    FAMILY_CAPACITY,
+    Severity.WARNING,
+    "programmed edges on one half-core exceed the routing proxy limit",
+)
+def _routing_pressure(ctx: LintContext) -> Iterator[Diagnostic]:
+    placement = ctx.placement()
+    if placement is None:
+        return
+    component_of = ctx.analysis.component_index()
+    edges_per_half_core = [0] * placement.half_cores
+    for src, dst in ctx.automaton.edges():
+        cid = component_of[src]
+        edges_per_half_core[placement.assignment[cid]] += 1
+    limit = int(
+        ctx.config.geometry.stes_per_half_core
+        * ctx.config.routing_edge_factor
+    )
+    for index, edges in enumerate(edges_per_half_core):
+        if edges > limit:
+            members = [
+                cid
+                for cid in placement.assignment
+                if placement.assignment[cid] == index
+            ]
+            yield ctx.emit(
+                "AP207",
+                f"half-core {index} carries {edges} transitions for "
+                f"{len(members)} component(s), above the routing "
+                f"pressure proxy of {limit}; expect place-and-route "
+                "to spread this FSM over more half-cores",
+                data={"half_core": index, "edges": edges, "limit": limit},
+            )
+
+
+@rule(
+    "AP208",
+    "placement-fragmentation",
+    FAMILY_CAPACITY,
+    Severity.INFO,
+    "multi-half-core placement with very low STE utilization",
+)
+def _fragmentation(ctx: LintContext) -> Iterator[Diagnostic]:
+    placement = ctx.placement()
+    if placement is None or placement.half_cores < 2:
+        return
+    utilization = placement.utilization(
+        ctx.config.geometry.stes_per_half_core
+    )
+    if utilization < ctx.config.min_utilization:
+        yield ctx.emit(
+            "AP208",
+            f"placement spreads {placement.total_states} states over "
+            f"{placement.half_cores} half-cores at "
+            f"{utilization:.1%} utilization; fewer, fuller half-cores "
+            "would admit more parallel segments",
+            data={"utilization": utilization},
+        )

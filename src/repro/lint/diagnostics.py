@@ -1,0 +1,158 @@
+"""Diagnostic data model of the ``apcheck`` static-analysis pass.
+
+A :class:`Diagnostic` is one finding: a stable code (``AP001``...), a
+severity, a human-readable message, and the automaton states it anchors
+to.  A :class:`LintReport` is the ordered collection produced by one
+:func:`repro.lint.run_lint` invocation over one automaton.
+
+Severity contract (stable across releases):
+
+* ``ERROR`` — the automaton or deployment cannot work: execution or
+  placement is guaranteed to fail or produce wrong results.  The
+  pre-deployment gate refuses these.
+* ``WARNING`` — legal but hazardous: wasted capacity, parallelization
+  that cannot pay off, or hardware limits the model does not enforce.
+* ``INFO`` — structural observations useful when tuning a workload.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+
+@functools.total_ordering
+class Severity(enum.Enum):
+    """Diagnostic severity; ordering compares strength (ERROR highest)."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.value for s in cls)}"
+            ) from None
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``AP001``...); never reused across releases.
+    rule:
+        The kebab-case rule name (``unreachable-state``).
+    severity:
+        See the module docstring for the contract.
+    message:
+        One-line human-readable description.
+    automaton:
+        Name of the automaton the finding belongs to.
+    states:
+        Ids of the states the finding anchors to (possibly empty for
+        whole-automaton findings), sorted ascending.
+    data:
+        Optional machine-readable detail (threshold values, sizes...)
+        carried into the JSON rendering.
+    """
+
+    code: str
+    rule: str
+    severity: Severity
+    message: str
+    automaton: str = ""
+    states: tuple[int, ...] = ()
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "automaton": self.automaton,
+            "states": list(self.states),
+        }
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics of one lint pass over one automaton."""
+
+    automaton: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def num_errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def num_warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def num_infos(self) -> int:
+        return self.count(Severity.INFO)
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def at_least(self, minimum: Severity) -> "LintReport":
+        """The sub-report of diagnostics at or above ``minimum``."""
+        return LintReport(
+            automaton=self.automaton,
+            diagnostics=tuple(
+                d for d in self.diagnostics if d.severity >= minimum
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "automaton": self.automaton,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": {
+                "error": self.num_errors,
+                "warning": self.num_warnings,
+                "info": self.num_infos,
+            },
+        }

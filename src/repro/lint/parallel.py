@@ -1,0 +1,140 @@
+"""Parallelization-risk rules (``AP101``–``AP105``).
+
+The paper's enumeration scheme only pays off when the Section 3
+structural properties hold: some symbol has a small range (3.1),
+connected components and common parents compress enumeration paths
+into few flows (3.3.1/3.3.2), and an always-active group absorbs the
+path-independent states (3.3.2).  These rules estimate each property
+ahead of execution and warn when parallel execution would degenerate
+to the golden sequential run (PaREM and the UVa DFA-vs-NFA study make
+the same go/no-go call from static range/blowup characteristics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import FAMILY_PARALLEL, LintContext, rule
+
+
+@rule(
+    "AP101",
+    "range-blowup",
+    FAMILY_PARALLEL,
+    Severity.WARNING,
+    "even the best partition symbol has an oversized enumeration range",
+)
+def _range_blowup(ctx: LintContext) -> Iterator[Diagnostic]:
+    if not len(ctx.automaton):
+        return
+    symbol, size = ctx.best_partition_symbol()
+    threshold = ctx.config.max_enumeration_range
+    if size > threshold:
+        yield ctx.emit(
+            "AP101",
+            f"minimum enumeration range is {size} states (symbol "
+            f"0x{symbol:02x}), above the blowup threshold of "
+            f"{threshold}; no partition symbol tames start-state "
+            "enumeration",
+            data={"symbol": symbol, "range": size, "threshold": threshold},
+        )
+
+
+@rule(
+    "AP102",
+    "unit-blowup",
+    FAMILY_PARALLEL,
+    Severity.WARNING,
+    "common-parent grouping leaves more enumeration units than flows fit",
+)
+def _unit_blowup(ctx: LintContext) -> Iterator[Diagnostic]:
+    if not len(ctx.automaton):
+        return
+    symbol, size = ctx.best_partition_symbol()
+    if size == 0:
+        return
+    units = ctx.best_symbol_units()
+    if len(units) > ctx.config.max_flows:
+        yield ctx.emit(
+            "AP102",
+            f"common-parent grouping leaves {len(units)} enumeration "
+            f"units for the best symbol 0x{symbol:02x} (range {size}); "
+            f"without component merging this exceeds the "
+            f"{ctx.config.max_flows}-entry state-vector cache",
+            data={"symbol": symbol, "units": len(units)},
+        )
+
+
+@rule(
+    "AP103",
+    "flow-cache-overflow",
+    FAMILY_PARALLEL,
+    Severity.WARNING,
+    "flows after component merging exceed the state-vector cache",
+)
+def _flow_cache_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    if not len(ctx.automaton):
+        return
+    _, size = ctx.best_partition_symbol()
+    if size == 0:
+        return
+    units = ctx.best_symbol_units()
+    per_component: dict[int, int] = {}
+    for unit in units:
+        per_component[unit.component] = (
+            per_component.get(unit.component, 0) + 1
+        )
+    flows = max(per_component.values(), default=0)
+    asg_flows = 1 if ctx.path_independent else 0
+    components = len(ctx.analysis.connected_components())
+    if flows + asg_flows > ctx.config.max_flows:
+        yield ctx.emit(
+            "AP103",
+            f"{flows} flows survive component merging across "
+            f"{components} component(s) (+{asg_flows} ASG flow); a "
+            f"segment needs more than the {ctx.config.max_flows}-entry "
+            "state-vector cache and the plan overflows to the golden run",
+            data={
+                "flows": flows,
+                "asg_flows": asg_flows,
+                "components": components,
+            },
+        )
+
+
+@rule(
+    "AP104",
+    "single-component",
+    FAMILY_PARALLEL,
+    Severity.INFO,
+    "one connected component: component merging cannot reduce flows",
+)
+def _single_component(ctx: LintContext) -> Iterator[Diagnostic]:
+    if len(ctx.automaton) < 2:
+        return
+    components = ctx.analysis.connected_components()
+    if len(components) == 1:
+        yield ctx.emit(
+            "AP104",
+            f"all {len(ctx.automaton)} states form one connected "
+            "component; connected-component merging cannot share "
+            "enumeration flows (every unit becomes its own flow)",
+        )
+
+
+@rule(
+    "AP105",
+    "no-always-active",
+    FAMILY_PARALLEL,
+    Severity.INFO,
+    "no always-active or all-input states: the ASG flow is idle",
+)
+def _no_always_active(ctx: LintContext) -> Iterator[Diagnostic]:
+    if len(ctx.automaton) and not ctx.path_independent:
+        yield ctx.emit(
+            "AP105",
+            "no path-independent states at depth "
+            f"{ctx.config.asg_max_depth}: the always-active flow covers "
+            "nothing and every enumeration flow must run to completion",
+        )

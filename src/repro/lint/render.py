@@ -1,0 +1,82 @@
+"""Text and JSON renderers for lint reports.
+
+The text form is one gcc-style line per diagnostic::
+
+    SPM: error AP201 [component-exceeds-half-core] connected component ...
+      states: 3, 4, 5, ... (+12 more)
+
+followed by a per-automaton summary line.  The JSON form is a stable
+machine-readable document (one object per automaton) for CI gates and
+external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+_MAX_STATES_SHOWN = 8
+
+
+def _as_reports(
+    reports: LintReport | Iterable[LintReport],
+) -> list[LintReport]:
+    if isinstance(reports, LintReport):
+        return [reports]
+    return list(reports)
+
+
+def format_diagnostic(diagnostic: Diagnostic) -> str:
+    """One diagnostic as text line(s)."""
+    name = diagnostic.automaton or "<automaton>"
+    line = (
+        f"{name}: {diagnostic.severity.value} {diagnostic.code} "
+        f"[{diagnostic.rule}] {diagnostic.message}"
+    )
+    if diagnostic.states:
+        shown = ", ".join(
+            str(sid) for sid in diagnostic.states[:_MAX_STATES_SHOWN]
+        )
+        extra = len(diagnostic.states) - _MAX_STATES_SHOWN
+        if extra > 0:
+            shown += f", ... (+{extra} more)"
+        line += f"\n  states: {shown}"
+    return line
+
+
+def render_text(
+    reports: LintReport | Iterable[LintReport],
+    *,
+    min_severity: Severity = Severity.INFO,
+) -> str:
+    """Render one or many reports as human-readable text."""
+    blocks: list[str] = []
+    for report in _as_reports(reports):
+        visible = report.at_least(min_severity)
+        lines = [format_diagnostic(d) for d in visible]
+        summary = (
+            f"{report.automaton}: {report.num_errors} error(s), "
+            f"{report.num_warnings} warning(s), "
+            f"{report.num_infos} note(s)"
+        )
+        lines.append(summary)
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_json(
+    reports: LintReport | Iterable[LintReport],
+    *,
+    min_severity: Severity = Severity.INFO,
+    indent: int | None = 2,
+) -> str:
+    """Render one or many reports as a JSON document."""
+    payload = {
+        "reports": [
+            report.at_least(min_severity).to_dict()
+            for report in _as_reports(reports)
+        ]
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)

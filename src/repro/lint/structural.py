@@ -1,0 +1,200 @@
+"""Structural rules (``AP001``–``AP009``): automaton well-formedness.
+
+These rules catch the malformed-input class: automata that execute
+wrongly (no start states, empty labels, dangling edges), waste capacity
+(unreachable or dead states), or violate hardware conventions the
+functional model tolerates (reporting states with successors).  The
+pre-deployment gate (:func:`repro.lint.lint_gate`) refuses error-level
+findings from this family.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import FAMILY_STRUCTURAL, LintContext, rule
+
+_SAMPLE = 8
+
+
+@rule(
+    "AP001",
+    "no-start-states",
+    FAMILY_STRUCTURAL,
+    Severity.ERROR,
+    "a non-empty automaton has no start state of either kind",
+)
+def _no_start_states(ctx: LintContext) -> Iterator[Diagnostic]:
+    if len(ctx.automaton) and not ctx.automaton.start_states():
+        yield ctx.emit(
+            "AP001",
+            "no start states: no state can ever become enabled",
+        )
+
+
+@rule(
+    "AP002",
+    "empty-label",
+    FAMILY_STRUCTURAL,
+    Severity.ERROR,
+    "states whose character class matches no symbol",
+)
+def _empty_labels(ctx: LintContext) -> Iterator[Diagnostic]:
+    empty = [ste.sid for ste in ctx.automaton.states() if not ste.label]
+    if empty:
+        yield ctx.emit(
+            "AP002",
+            f"{len(empty)} state(s) have empty labels and can never match",
+            states=empty,
+        )
+
+
+@rule(
+    "AP003",
+    "dangling-edge",
+    FAMILY_STRUCTURAL,
+    Severity.ERROR,
+    "edges whose destination is not a valid state id",
+)
+def _dangling_edges(ctx: LintContext) -> Iterator[Diagnostic]:
+    # The Automaton API prevents this, but deserialized or hand-built
+    # structures may smuggle bad ids in; guard like Automaton.validate.
+    count = len(ctx.automaton)
+    bad = [
+        (src, dst)
+        for src, dst in ctx.automaton.edges()
+        if not 0 <= dst < count
+    ]
+    if bad:
+        shown = ", ".join(f"{s}->{d}" for s, d in bad[:_SAMPLE])
+        yield ctx.emit(
+            "AP003",
+            f"{len(bad)} dangling edge(s): {shown}",
+            states=[src for src, _ in bad],
+        )
+
+
+@rule(
+    "AP004",
+    "unreachable-state",
+    FAMILY_STRUCTURAL,
+    Severity.WARNING,
+    "states not reachable from any start state",
+)
+def _unreachable(ctx: LintContext) -> Iterator[Diagnostic]:
+    all_states = frozenset(range(len(ctx.automaton)))
+    unreachable = all_states - ctx.analysis.reachable_states()
+    if unreachable:
+        yield ctx.emit(
+            "AP004",
+            f"{len(unreachable)} state(s) unreachable from any start "
+            "state occupy STEs but never match",
+            states=unreachable,
+        )
+
+
+@rule(
+    "AP005",
+    "dead-state",
+    FAMILY_STRUCTURAL,
+    Severity.WARNING,
+    "reachable states from which no reporting state is reachable",
+)
+def _dead(ctx: LintContext) -> Iterator[Diagnostic]:
+    dead = ctx.analysis.dead_states()
+    if dead:
+        yield ctx.emit(
+            "AP005",
+            f"{len(dead)} reachable state(s) can never lead to a report",
+            states=dead,
+        )
+
+
+@rule(
+    "AP006",
+    "reporting-successors",
+    FAMILY_STRUCTURAL,
+    Severity.WARNING,
+    "reporting states with outgoing edges (AP output regions forbid them)",
+)
+def _reporting_successors(ctx: LintContext) -> Iterator[Diagnostic]:
+    offenders = [
+        sid
+        for sid in ctx.automaton.reporting_states()
+        if ctx.automaton.successors(sid)
+    ]
+    if offenders:
+        yield ctx.emit(
+            "AP006",
+            f"{len(offenders)} reporting state(s) have outgoing edges; "
+            "AP output regions terminate chains, so hardware placement "
+            "must duplicate them",
+            states=offenders,
+        )
+
+
+@rule(
+    "AP007",
+    "duplicate-report-code",
+    FAMILY_STRUCTURAL,
+    Severity.INFO,
+    "distinct reporting states sharing report codes",
+)
+def _duplicate_report_codes(ctx: LintContext) -> Iterator[Diagnostic]:
+    by_code: dict[int, list[int]] = {}
+    for sid in ctx.automaton.reporting_states():
+        by_code.setdefault(ctx.automaton.state(sid).code, []).append(sid)
+    shared = {
+        code_value: members
+        for code_value, members in by_code.items()
+        if len(members) > 1
+    }
+    if shared:
+        affected = sorted(
+            sid for members in shared.values() for sid in members
+        )
+        yield ctx.emit(
+            "AP007",
+            f"{len(shared)} report code(s) are shared by multiple "
+            f"reporting states ({len(affected)} states total); host "
+            "decode resolves matches to rule granularity only "
+            "(intentional for multi-state rules)",
+            states=affected,
+            data={"shared_codes": sorted(shared)[:32]},
+        )
+
+
+@rule(
+    "AP008",
+    "no-reporting-states",
+    FAMILY_STRUCTURAL,
+    Severity.INFO,
+    "automaton produces no reports (legal pure filter)",
+)
+def _no_reporting(ctx: LintContext) -> Iterator[Diagnostic]:
+    if len(ctx.automaton) and not ctx.automaton.reporting_states():
+        yield ctx.emit(
+            "AP008",
+            "no reporting states: execution can never produce output "
+            "(legal for pure filters, usually a mistake otherwise)",
+        )
+
+
+@rule(
+    "AP009",
+    "stale-analysis",
+    FAMILY_STRUCTURAL,
+    Severity.ERROR,
+    "the supplied AutomatonAnalysis predates an automaton mutation",
+)
+def _stale_analysis(ctx: LintContext) -> Iterator[Diagnostic]:
+    # run_lint short-circuits on staleness before rules execute (a stale
+    # analysis cannot answer any query), so this only documents the code
+    # and fires defensively if the automaton mutates mid-pass.
+    if not ctx.analysis.is_fresh():
+        yield ctx.emit(
+            "AP009",
+            "analysis is stale: the automaton mutated after the "
+            "AutomatonAnalysis was constructed; rebuild it",
+        )

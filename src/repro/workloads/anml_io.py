@@ -13,7 +13,6 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.automata.analysis import AutomatonAnalysis
-from repro.automata.anml import Automaton
 from repro.automata.anml_xml import automaton_from_anml_xml
 from repro.ap.placement import place_automaton
 from repro.workloads.suite import BenchmarkInstance, PaperRow

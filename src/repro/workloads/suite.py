@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.automata.anml import Automaton
 from repro.workloads import regexgen
@@ -438,7 +438,7 @@ def build_suite(
     *,
     scale: float = 0.25,
     seed: int = 0,
-):
+) -> Iterator[BenchmarkInstance]:
     """Yield benchmark instances one at a time (they can be large)."""
     for name in names:
         yield build_benchmark(name, scale=scale, seed=seed)

@@ -17,9 +17,14 @@ alphabets.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
 from repro.automata.anml import Automaton
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.automata.charclass import CharClass
+    from repro.automata.execution import FlowExecution
 
 DEFAULT_PM = 0.75
 
@@ -71,7 +76,9 @@ def pm_trace(
     return bytes(out)
 
 
-def _sample_state(execution, rng: random.Random) -> int | None:
+def _sample_state(
+    execution: FlowExecution, rng: random.Random
+) -> int | None:
     """A random active state, preferring the volatile frontier.
 
     Volatile states are the patterns currently mid-match — extending one
@@ -91,7 +98,7 @@ def _sample_state(execution, rng: random.Random) -> int | None:
     return None
 
 
-def _sample_symbol(label, rng: random.Random) -> int:
+def _sample_symbol(label: CharClass, rng: random.Random) -> int:
     """A random member of a character class, cheap for wide classes."""
     if label.is_full():
         return rng.randrange(256)

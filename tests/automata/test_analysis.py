@@ -176,3 +176,123 @@ class TestCacheHygiene:
     def test_parents_of_delegates(self, two_patterns):
         analysis = AutomatonAnalysis(two_patterns)
         assert analysis.parents_of(2) == (1,)
+
+
+class TestEmptyAutomaton:
+    """Every analysis view must degrade gracefully on zero states."""
+
+    def test_all_views_empty(self):
+        analysis = AutomatonAnalysis(Automaton("empty"))
+        assert analysis.reachable_states() == frozenset()
+        assert analysis.coreachable_states() == frozenset()
+        assert analysis.dead_states() == frozenset()
+        assert analysis.connected_components() == []
+        assert analysis.path_independent_states() == frozenset()
+        assert analysis.symbol_range(ord("a")) == frozenset()
+
+    def test_range_sizes_all_zero(self):
+        analysis = AutomatonAnalysis(Automaton("empty"))
+        sizes = analysis.range_sizes()
+        assert len(sizes) == 256
+        assert not sizes.any()
+
+
+class TestEveryStateStarts:
+    def test_all_states_reachable_and_enterable(self):
+        automaton = Automaton("starts")
+        for symbol in "abc":
+            automaton.add_state(
+                CharClass.single(symbol), start=StartKind.ALL_INPUT
+            )
+        analysis = AutomatonAnalysis(automaton)
+        assert analysis.reachable_states() == frozenset(range(3))
+        # All-input starts are path independent by definition.
+        assert analysis.path_independent_states() == frozenset(range(3))
+        for symbol in "abc":
+            assert analysis.symbol_range(ord(symbol))
+
+    def test_no_dead_states_without_reporting(self):
+        automaton = Automaton("starts")
+        for symbol in "ab":
+            automaton.add_state(
+                CharClass.single(symbol), start=StartKind.START_OF_DATA
+            )
+        analysis = AutomatonAnalysis(automaton)
+        # No reporting states: dead-state analysis is vacuous, not total.
+        assert analysis.dead_states() == frozenset()
+
+
+class TestSingleSelfLoop:
+    def test_full_self_loop_is_always_active(self):
+        automaton = Automaton("loop")
+        sid = automaton.add_state(
+            CharClass.full(), start=StartKind.ALL_INPUT, reporting=True
+        )
+        automaton.add_edge(sid, sid)
+        analysis = AutomatonAnalysis(automaton)
+        assert analysis.always_active_states(0) == frozenset({sid})
+        assert analysis.path_independent_states() == frozenset({sid})
+        assert analysis.connected_components() == [frozenset({sid})]
+        assert analysis.dead_states() == frozenset()
+
+    def test_partial_self_loop_not_always_active(self):
+        automaton = Automaton("loop")
+        sid = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        automaton.add_edge(sid, sid)
+        analysis = AutomatonAnalysis(automaton)
+        assert analysis.always_active_states(0) == frozenset()
+
+
+class TestCoreachability:
+    def test_dead_branch_detected(self):
+        automaton = Automaton("fork")
+        head = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        live = automaton.add_state(CharClass.single("b"), reporting=True)
+        dead = automaton.add_state(CharClass.single("c"))
+        automaton.add_edge(head, live)
+        automaton.add_edge(head, dead)
+        analysis = AutomatonAnalysis(automaton)
+        assert analysis.coreachable_states() == frozenset({head, live})
+        assert analysis.dead_states() == frozenset({dead})
+
+    def test_unreachable_state_is_not_dead(self):
+        # Dead = reachable but report-less; an unreachable state is a
+        # different defect (AP004 vs AP005) and must not double-report.
+        automaton = Automaton("island")
+        builder.literal(automaton, "ab")
+        island = automaton.add_state(CharClass.single("z"))
+        analysis = AutomatonAnalysis(automaton)
+        assert island not in analysis.dead_states()
+
+
+class TestStaleness:
+    def test_is_fresh_tracks_version(self):
+        automaton = Automaton("v")
+        builder.literal(automaton, "ab")
+        analysis = AutomatonAnalysis(automaton)
+        assert analysis.is_fresh()
+        automaton.add_state(CharClass.single("z"))
+        assert not analysis.is_fresh()
+
+    def test_stale_coreachability_rejected(self):
+        automaton = Automaton("v")
+        builder.literal(automaton, "ab")
+        analysis = AutomatonAnalysis(automaton)
+        analysis.coreachable_states()
+        automaton.add_state(CharClass.single("z"))
+        with pytest.raises(AutomatonError, match="mutated"):
+            analysis.coreachable_states()
+        with pytest.raises(AutomatonError, match="mutated"):
+            analysis.dead_states()
+
+    def test_edge_mutation_also_staleness(self):
+        automaton = Automaton("v")
+        sids = builder.literal(automaton, "ab")
+        analysis = AutomatonAnalysis(automaton)
+        assert analysis.is_fresh()
+        automaton.add_edge(sids[-1], sids[0])
+        assert not analysis.is_fresh()

@@ -15,7 +15,6 @@ from hypothesis import strategies as st
 from repro.automata.execution import CompiledAutomaton, FlowExecution, Report
 from repro.automata.random_gen import (
     random_automaton,
-    random_input,
     random_ruleset_automaton,
 )
 

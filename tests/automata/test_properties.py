@@ -1,6 +1,5 @@
 """Property-based tests on the automata substrate's invariants."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

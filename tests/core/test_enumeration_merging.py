@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.automata import builder
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton, StartKind
 from repro.automata.charclass import CharClass

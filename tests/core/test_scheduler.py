@@ -1,6 +1,5 @@
 """Unit tests for the TDM segment scheduler."""
 
-import pytest
 
 from repro.automata import builder
 from repro.automata.analysis import AutomatonAnalysis

@@ -1,0 +1,157 @@
+"""CLI wiring of ``repro lint`` and the suite-wide cleanliness bar:
+every bundled benchmark generator must lint without errors."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Severity, run_lint
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+SMALL = ["ExactMatch", "Ranges05", "Dotstar03"]
+
+
+class TestLintCli:
+    def test_lint_benchmark_text(self, capsys):
+        exit_code = main(
+            ["lint", "ExactMatch", "--scale", "0.05", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "error(s)" in out and "warning(s)" in out
+
+    def test_lint_benchmark_json(self, capsys):
+        exit_code = main(
+            [
+                "lint",
+                "ExactMatch",
+                "--scale",
+                "0.05",
+                "--format",
+                "json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        [report] = payload["reports"]
+        assert report["automaton"]
+        for diagnostic in report["diagnostics"]:
+            assert diagnostic["code"].startswith("AP")
+
+    def test_lint_family_restriction(self, capsys):
+        exit_code = main(
+            [
+                "lint",
+                "ExactMatch",
+                "--scale",
+                "0.05",
+                "--rules",
+                "capacity",
+                "--format",
+                "json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        for diagnostic in payload["reports"][0]["diagnostics"]:
+            assert diagnostic["code"].startswith("AP2")
+
+    def test_lint_json_file_target(self, tmp_path, capsys):
+        from repro.automata.anml import Automaton, StartKind
+        from repro.automata.charclass import CharClass
+        from repro.automata.serialization import dumps
+
+        automaton = Automaton("from-file")
+        automaton.add_state(
+            CharClass.single("a"),
+            start=StartKind.START_OF_DATA,
+            reporting=True,
+        )
+        path = tmp_path / "tiny.json"
+        path.write_text(dumps(automaton), encoding="utf-8")
+        exit_code = main(["lint", str(path)])
+        assert exit_code == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_lint_unknown_target_exits(self):
+        with pytest.raises(SystemExit, match="unknown lint target"):
+            main(["lint", "NoSuchBenchmark"])
+
+    def test_lint_broken_file_reports_instead_of_crashing(
+        self, tmp_path, capsys
+    ):
+        # Files load WITHOUT Automaton.validate so the linter itself
+        # reports AP002 (and exits 1) rather than raising.
+        import json
+
+        from repro.automata.anml import Automaton, StartKind
+        from repro.automata.charclass import CharClass
+        from repro.automata.serialization import automaton_to_dict
+
+        automaton = Automaton("busted")
+        automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        payload = automaton_to_dict(automaton)
+        payload["states"][0]["label"] = "0"  # empty character class
+        path = tmp_path / "busted.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        exit_code = main(["lint", str(path)])
+        assert exit_code == 1
+        assert "AP002" in capsys.readouterr().out
+
+    def test_lint_unreadable_file_exits_cleanly(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(SystemExit, match="cannot load"):
+            main(["lint", str(path)])
+
+    def test_lint_unknown_family_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown rule families"):
+            main(["lint", "ExactMatch", "--rules", "bogus"])
+
+    def test_lint_fail_on_warning(self, capsys):
+        # ExactMatch automata are single-component: AP104 (info) and
+        # usually at least one warning-free run; pick a benchmark known
+        # to warn (Dotstar03 has reporting hubs) and require exit 1 only
+        # when warnings exist.
+        exit_code = main(
+            [
+                "lint",
+                "ExactMatch",
+                "--scale",
+                "0.05",
+                "--fail-on",
+                "warning",
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        warnings = sum(
+            1
+            for report in payload["reports"]
+            for diagnostic in report["diagnostics"]
+            if diagnostic["severity"] in ("warning", "error")
+        )
+        assert exit_code == (1 if warnings else 0)
+
+
+class TestSuiteCleanliness:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_benchmark_lints_without_errors(self, name):
+        instance = build_benchmark(name, scale=0.02, seed=7)
+        report = run_lint(instance.automaton)
+        errors = report.at_least(Severity.ERROR)
+        assert not len(errors), [
+            f"{d.code}: {d.message}" for d in errors
+        ]
+
+    def test_cli_suite_gate(self, capsys):
+        # The same bar the CI job enforces, on a few small benchmarks
+        # to keep the test fast.
+        exit_code = main(
+            ["lint", *SMALL, "--scale", "0.02", "--severity", "error"]
+        )
+        assert exit_code == 0

@@ -1,0 +1,130 @@
+"""LintReport container, severity ordering, renderers, and registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    FAMILIES,
+    REGISTRY,
+    Diagnostic,
+    LintReport,
+    Severity,
+    format_diagnostic,
+    render_json,
+    render_text,
+    rules_for,
+)
+
+
+def _diag(code: str, severity: Severity, states=()) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        rule="some-rule",
+        severity=severity,
+        message=f"message for {code}",
+        automaton="toy",
+        states=tuple(states),
+    )
+
+
+SAMPLE = LintReport(
+    automaton="toy",
+    diagnostics=(
+        _diag("AP001", Severity.ERROR),
+        _diag("AP004", Severity.WARNING, states=(3, 5)),
+        _diag("AP008", Severity.INFO),
+    ),
+)
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING
+        assert max(Severity) is Severity.ERROR
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        with pytest.raises(ConfigurationError):
+            Severity.parse("fatal")
+
+
+class TestLintReport:
+    def test_counts_and_codes(self):
+        assert len(SAMPLE) == 3
+        assert SAMPLE.has_errors
+        assert SAMPLE.num_errors == 1
+        assert SAMPLE.num_warnings == 1
+        assert SAMPLE.num_infos == 1
+        assert SAMPLE.codes() == {"AP001", "AP004", "AP008"}
+
+    def test_at_least_filters(self):
+        warnings_up = SAMPLE.at_least(Severity.WARNING)
+        assert warnings_up.codes() == {"AP001", "AP004"}
+        assert SAMPLE.at_least(Severity.INFO).codes() == SAMPLE.codes()
+        assert not SAMPLE.at_least(Severity.ERROR).num_warnings
+
+    def test_to_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(SAMPLE.to_dict()))
+        assert payload["automaton"] == "toy"
+        assert [d["code"] for d in payload["diagnostics"]] == [
+            "AP001",
+            "AP004",
+            "AP008",
+        ]
+        assert payload["diagnostics"][1]["states"] == [3, 5]
+
+
+class TestRenderers:
+    def test_format_diagnostic_shape(self):
+        line = format_diagnostic(_diag("AP004", Severity.WARNING, (3, 5)))
+        assert line.startswith("toy: warning AP004")
+        assert "states: 3, 5" in line
+
+    def test_render_text_summary_line(self):
+        text = render_text(SAMPLE)
+        assert "1 error(s), 1 warning(s), 1 note(s)" in text
+        assert "AP001" in text and "AP008" in text
+
+    def test_render_text_severity_filter_keeps_summary(self):
+        text = render_text(SAMPLE, min_severity=Severity.ERROR)
+        assert "AP008" not in text
+        # The summary still counts the whole report.
+        assert "1 error(s), 1 warning(s), 1 note(s)" in text
+
+    def test_render_json_is_valid_json(self):
+        payload = json.loads(render_json([SAMPLE]))
+        assert payload["reports"][0]["automaton"] == "toy"
+
+    def test_render_json_severity_filter(self):
+        payload = json.loads(
+            render_json([SAMPLE], min_severity=Severity.WARNING)
+        )
+        codes = [
+            d["code"] for d in payload["reports"][0]["diagnostics"]
+        ]
+        assert codes == ["AP001", "AP004"]
+
+
+class TestRegistry:
+    def test_codes_are_unique_and_well_formed(self):
+        for code, registered in REGISTRY.items():
+            assert code == registered.code
+            assert code.startswith("AP") and code[2:].isdigit()
+            assert registered.family in FAMILIES
+
+    def test_rules_for_all_families_in_code_order(self):
+        codes = [r.code for r in rules_for()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(REGISTRY)
+
+    def test_rules_for_unknown_family(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            rules_for(("structural", "vibes"))
+
+    def test_every_family_has_rules(self):
+        for family in FAMILIES:
+            assert rules_for((family,))

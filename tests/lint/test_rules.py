@@ -1,0 +1,318 @@
+"""Each lint rule fires on a purpose-built bad automaton and stays
+silent on a clean one."""
+
+import pytest
+
+from repro.ap.geometry import BoardGeometry
+from repro.automata import builder
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.lint import LintConfig, Severity, run_lint
+
+TINY_BOARD = BoardGeometry(
+    ranks=1, devices_per_rank=1, stes_per_half_core=4
+)
+
+
+def full_chain(length: int, name: str = "chain") -> Automaton:
+    """START_OF_DATA head followed by full-label states, no self loops
+    (so nothing is always-active and every symbol's range is wide)."""
+    automaton = Automaton(name)
+    prev = automaton.add_state(
+        CharClass.full(), start=StartKind.START_OF_DATA
+    )
+    for _ in range(length - 1):
+        nxt = automaton.add_state(CharClass.full())
+        automaton.add_edge(prev, nxt)
+        prev = nxt
+    return automaton
+
+
+class TestStructuralRules:
+    def test_ap001_no_start_states(self):
+        automaton = Automaton("nostart")
+        automaton.add_state(CharClass.single("a"))
+        report = run_lint(automaton, families=("structural",))
+        assert "AP001" in report.codes()
+        assert report.has_errors
+
+    def test_ap002_empty_label(self):
+        automaton = Automaton("empty")
+        sid = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        bad = automaton.add_state(CharClass.empty())
+        automaton.add_edge(sid, bad)
+        report = run_lint(automaton, families=("structural",))
+        [diag] = [d for d in report if d.code == "AP002"]
+        assert diag.severity is Severity.ERROR
+        assert diag.states == (bad,)
+
+    def test_ap004_unreachable_state(self):
+        automaton = Automaton("island")
+        builder.literal(automaton, "ab")
+        island = automaton.add_state(CharClass.single("z"))
+        report = run_lint(automaton, families=("structural",))
+        [diag] = [d for d in report if d.code == "AP004"]
+        assert diag.severity is Severity.WARNING
+        assert island in diag.states
+
+    def test_ap005_dead_state(self):
+        automaton = Automaton("dead")
+        head = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        reporter = automaton.add_state(
+            CharClass.single("b"), reporting=True
+        )
+        dead_end = automaton.add_state(CharClass.single("c"))
+        automaton.add_edge(head, reporter)
+        automaton.add_edge(head, dead_end)
+        report = run_lint(automaton, families=("structural",))
+        [diag] = [d for d in report if d.code == "AP005"]
+        assert diag.states == (dead_end,)
+
+    def test_ap005_silent_without_reporting_states(self):
+        # No reporting states anywhere: dead-state analysis is vacuous
+        # (a pure filter is legal), so AP005 must stay quiet.
+        automaton = Automaton("filter")
+        prev = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        for symbol in "bc":
+            nxt = automaton.add_state(CharClass.single(symbol))
+            automaton.add_edge(prev, nxt)
+            prev = nxt
+        report = run_lint(automaton, families=("structural",))
+        assert "AP005" not in report.codes()
+        assert "AP008" in report.codes()
+
+    def test_ap006_reporting_successors(self):
+        automaton = Automaton("loopy")
+        sid = automaton.add_state(
+            CharClass.single("a"),
+            start=StartKind.ALL_INPUT,
+            reporting=True,
+        )
+        automaton.add_edge(sid, sid)
+        report = run_lint(automaton, families=("structural",))
+        assert "AP006" in report.codes()
+
+    def test_ap007_duplicate_report_codes_aggregated(self):
+        automaton = Automaton("dupes")
+        for _ in range(3):
+            automaton.add_state(
+                CharClass.single("a"),
+                start=StartKind.ALL_INPUT,
+                reporting=True,
+                report_code=7,
+            )
+        report = run_lint(automaton, families=("structural",))
+        diags = [d for d in report if d.code == "AP007"]
+        assert len(diags) == 1  # aggregated, not one per code
+        assert diags[0].states == (0, 1, 2)
+
+    def test_ap009_stale_analysis_short_circuits(self):
+        automaton = Automaton("stale")
+        builder.literal(automaton, "ab")
+        analysis = AutomatonAnalysis(automaton)
+        automaton.add_state(CharClass.single("z"))
+        report = run_lint(automaton, analysis=analysis)
+        assert report.codes() == {"AP009"}
+        assert report.has_errors
+
+    def test_clean_ruleset_has_no_structural_errors(self):
+        automaton = Automaton("clean")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("ab"))
+        report = run_lint(automaton, families=("structural",))
+        assert not report.has_errors
+
+
+class TestParallelizationRules:
+    def test_ap101_oversized_symbol_range(self):
+        automaton = full_chain(8, "wide")
+        config = LintConfig(max_enumeration_range=4)
+        report = run_lint(automaton, config=config, families=("parallel",))
+        [diag] = [d for d in report if d.code == "AP101"]
+        assert diag.severity is Severity.WARNING
+        assert diag.data["range"] == 7  # head is parentless, excluded
+        assert diag.data["threshold"] == 4
+
+    def test_ap101_silent_below_threshold(self):
+        automaton = full_chain(3, "narrow")
+        config = LintConfig(max_enumeration_range=4)
+        report = run_lint(automaton, config=config, families=("parallel",))
+        assert "AP101" not in report.codes()
+
+    def test_ap102_unit_blowup(self):
+        automaton = full_chain(8, "units")
+        config = LintConfig(max_flows=4)
+        report = run_lint(automaton, config=config, families=("parallel",))
+        [diag] = [d for d in report if d.code == "AP102"]
+        assert diag.data["units"] == 7
+
+    def test_ap103_flow_cache_overflow_single_component(self):
+        automaton = full_chain(8, "flows")
+        config = LintConfig(max_flows=4)
+        report = run_lint(automaton, config=config, families=("parallel",))
+        [diag] = [d for d in report if d.code == "AP103"]
+        assert diag.data["flows"] == 7
+        assert diag.data["components"] == 1
+
+    def test_ap103_silent_when_components_absorb_units(self):
+        # 8 disconnected two-state patterns: one unit per component, so
+        # component merging packs everything into one flow.
+        automaton = Automaton("many")
+        for _ in range(8):
+            head = automaton.add_state(
+                CharClass.full(), start=StartKind.ALL_INPUT
+            )
+            tail = automaton.add_state(CharClass.single("x"))
+            automaton.add_edge(head, tail)
+        config = LintConfig(max_flows=4)
+        report = run_lint(automaton, config=config, families=("parallel",))
+        assert "AP103" not in report.codes()
+
+    def test_ap104_single_component_note(self):
+        automaton = full_chain(4, "one")
+        report = run_lint(automaton, families=("parallel",))
+        assert "AP104" in report.codes()
+
+    def test_ap105_no_always_active_note(self):
+        automaton = Automaton("noasg")
+        builder.literal(automaton, "abc")
+        report = run_lint(automaton, families=("parallel",))
+        assert "AP105" in report.codes()
+
+    def test_ap105_silent_with_hub(self):
+        automaton = Automaton("hub")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("ab"))
+        report = run_lint(automaton, families=("parallel",))
+        assert "AP105" not in report.codes()
+
+
+class TestCapacityRules:
+    def test_ap201_component_exceeds_half_core(self):
+        automaton = full_chain(8, "big")
+        config = LintConfig(geometry=TINY_BOARD)
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP201"]
+        assert diag.severity is Severity.ERROR
+        assert diag.data["size"] == 8
+
+    def test_ap202_board_overflow(self):
+        # Three 3-state components on a 2-half-core board of capacity 4:
+        # every component fits a half-core, the replica does not fit.
+        automaton = Automaton("wide")
+        for _ in range(3):
+            head = automaton.add_state(
+                CharClass.single("a"), start=StartKind.START_OF_DATA
+            )
+            mid = automaton.add_state(CharClass.single("b"))
+            tail = automaton.add_state(CharClass.single("c"))
+            automaton.add_edge(head, mid)
+            automaton.add_edge(mid, tail)
+        geometry = BoardGeometry(
+            ranks=1, devices_per_rank=1, stes_per_half_core=4
+        )
+        config = LintConfig(geometry=geometry)
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP202"]
+        assert diag.severity is Severity.ERROR
+        assert diag.data["needed"] == 3
+        assert diag.data["available"] == 2
+        assert "AP201" not in report.codes()
+
+    def test_ap203_no_parallel_segments(self):
+        # Two 3-state components fill both half-cores: replica fits,
+        # but no second replica does.
+        automaton = Automaton("snug")
+        for _ in range(2):
+            head = automaton.add_state(
+                CharClass.single("a"), start=StartKind.START_OF_DATA
+            )
+            mid = automaton.add_state(CharClass.single("b"))
+            tail = automaton.add_state(CharClass.single("c"))
+            automaton.add_edge(head, mid)
+            automaton.add_edge(mid, tail)
+        config = LintConfig(geometry=TINY_BOARD)
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP203"]
+        assert diag.severity is Severity.WARNING
+
+    def test_ap204_output_region_overflow(self):
+        automaton = Automaton("reporty")
+        for _ in range(3):
+            automaton.add_state(
+                CharClass.single("a"),
+                start=StartKind.ALL_INPUT,
+                reporting=True,
+            )
+        config = LintConfig(reporting_elements_per_device=2)
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP204"]
+        assert diag.severity is Severity.ERROR
+        assert diag.data == {"reporting": 3, "budget": 2}
+
+    def test_ap205_counter_budget(self):
+        automaton = Automaton("counted")
+        builder.literal(automaton, "ab")
+        config = LintConfig(counters_used=1_000)  # > 768 per device
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP205"]
+        assert diag.severity is Severity.ERROR
+        assert diag.data["budget"] == 768
+
+    def test_ap206_boolean_budget(self):
+        automaton = Automaton("bools")
+        builder.literal(automaton, "ab")
+        config = LintConfig(booleans_used=3_000)  # > 2304 per device
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP206"]
+        assert diag.data["budget"] == 2_304
+
+    def test_ap207_routing_pressure(self):
+        # Dense component: 4 states, every ordered pair an edge (12
+        # edges > 2x4 proxy limit at factor 2 on a 4-STE half-core).
+        automaton = Automaton("dense")
+        sids = [
+            automaton.add_state(
+                CharClass.single("a"), start=StartKind.START_OF_DATA
+            )
+            for _ in range(4)
+        ]
+        for src in sids:
+            for dst in sids:
+                if src != dst:
+                    automaton.add_edge(src, dst)
+        config = LintConfig(geometry=TINY_BOARD, routing_edge_factor=2.0)
+        report = run_lint(automaton, config=config, families=("capacity",))
+        [diag] = [d for d in report if d.code == "AP207"]
+        assert diag.data["edges"] == 12
+        assert diag.data["limit"] == 8
+
+    def test_capacity_clean_on_default_board(self):
+        automaton = Automaton("ok")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("abc"))
+        report = run_lint(automaton, families=("capacity",))
+        assert not report.has_errors
+
+
+class TestFamilies:
+    def test_unknown_family_rejected(self):
+        automaton = Automaton("x")
+        builder.literal(automaton, "a")
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            run_lint(automaton, families=("bogus",))
+
+    def test_family_restriction_filters_codes(self):
+        automaton = Automaton("nostart")
+        automaton.add_state(CharClass.single("a"))
+        report = run_lint(automaton, families=("capacity",))
+        assert all(d.code.startswith("AP2") for d in report)

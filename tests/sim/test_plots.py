@@ -1,7 +1,5 @@
 """Tests for ASCII chart rendering."""
 
-import pytest
-
 from repro.sim.plots import bar_chart, grouped_bar_chart, histogram
 
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.execution import run_automaton
