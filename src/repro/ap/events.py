@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.automata.execution import Report
+from repro.obs.tracer import NULL_OBSERVER, Observer
 
 
 @dataclass(frozen=True, order=True)
@@ -40,6 +41,8 @@ class OutputEventBuffer:
 
     events: list[OutputEvent] = field(default_factory=list)
     raw_events: int = 0
+    observer: Observer = NULL_OBSERVER
+    track: str = "run"
 
     def push(self, report: Report, flow_id: int) -> None:
         self.events.append(
@@ -51,6 +54,7 @@ class OutputEventBuffer:
             )
         )
         self.raw_events += 1
+        self.observer.metrics.counter("events.pushed").inc()
 
     def push_all(self, reports: list[Report], flow_id: int) -> None:
         for report in reports:
@@ -59,6 +63,12 @@ class OutputEventBuffer:
     def drain(self) -> list[OutputEvent]:
         """Hand the buffered events to the host and clear the buffer."""
         drained, self.events = self.events, []
+        if self.observer.enabled and drained:
+            self.observer.instant(
+                "buffer-drain",
+                track=self.track,
+                args={"events": len(drained)},
+            )
         return drained
 
     def __len__(self) -> int:

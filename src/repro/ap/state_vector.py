@@ -47,13 +47,24 @@ class StateVector:
 
 @dataclass
 class StateVectorCache:
-    """A fixed-capacity vector store with comparator instrumentation."""
+    """A fixed-capacity vector store with comparator instrumentation.
+
+    Beyond the comparator counts, the cache keeps the occupancy and
+    hit/miss telemetry the observability layer reports: a *hit* is a
+    restore of a populated slot, a *miss* a restore of an absent one
+    (which still raises — the model treats it as a programming error,
+    but the counter makes the event visible in traces).
+    """
 
     capacity: int = STATE_VECTOR_CACHE_ENTRIES
     _slots: dict[int, StateVector] = field(default_factory=dict)
     comparisons: int = 0
     saves: int = 0
     restores: int = 0
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    peak_occupancy: int = 0
 
     def save(self, slot: int, vector: StateVector) -> None:
         """Write ``vector`` into ``slot`` (allocating it if new)."""
@@ -64,19 +75,38 @@ class StateVectorCache:
             )
         self._slots[slot] = vector
         self.saves += 1
+        if len(self._slots) > self.peak_occupancy:
+            self.peak_occupancy = len(self._slots)
 
     def restore(self, slot: int) -> StateVector:
         if slot not in self._slots:
+            self.misses += 1
             raise CapacityError(f"no state vector in slot {slot}")
         self.restores += 1
+        self.hits += 1
         return self._slots[slot]
 
     def invalidate(self, slot: int) -> None:
         """Drop a slot (flow deactivation); idempotent."""
-        self._slots.pop(slot, None)
+        if self._slots.pop(slot, None) is not None:
+            self.invalidations += 1
 
     def occupied(self) -> int:
         return len(self._slots)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the tracer and ``PAPRunResult.extra``."""
+        return {
+            "capacity": self.capacity,
+            "occupied": len(self._slots),
+            "peak_occupancy": self.peak_occupancy,
+            "saves": self.saves,
+            "restores": self.restores,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "comparisons": self.comparisons,
+        }
 
     def slots(self) -> tuple[int, ...]:
         return tuple(sorted(self._slots))

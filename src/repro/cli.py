@@ -3,7 +3,11 @@
 ``python -m repro <command>`` drives the library without writing code:
 
 * ``list`` — the 19 evaluation benchmarks and their Table 1 rows;
-* ``run`` — one benchmark end to end (baseline vs. PAP) with metrics;
+* ``run`` — one benchmark end to end (baseline vs. PAP) with metrics,
+  optionally recording a Chrome trace (``--trace``), a text profile
+  (``--profile``), and machine-readable output (``--format json``);
+* ``trace`` — record a run's trace to Perfetto-loadable JSON, or
+  validate/summarize an existing trace file;
 * ``match`` — compile patterns and scan a file, sequential vs. PAP;
 * ``lint`` — static diagnostics (apcheck) for automata and deployments;
 * ``table1`` / ``fig3`` — regenerate the characterization tables;
@@ -13,6 +17,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.automata.analysis import AutomatonAnalysis
@@ -35,6 +40,7 @@ from repro.lint import (
     rules_for,
     run_lint,
 )
+from repro.obs import Tracer, validate_chrome_trace
 from repro.regex.ruleset import compile_ruleset
 from repro.sim.report import format_figure3, format_table1
 from repro.sim.runner import run_benchmark
@@ -65,34 +71,145 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_summary(run, bench, args) -> dict:
+    """The run summary as plain data — the single source both output
+    formats (text and JSON) render from."""
+    pap = run.pap
+    return {
+        "benchmark": run.name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "states": bench.automaton.num_states,
+        "trace_bytes": run.trace_bytes,
+        "ranks": run.ranks,
+        "segments": pap.num_segments,
+        "baseline_cycles": run.baseline.total_cycles,
+        "pap_cycles": pap.total_cycles,
+        "speedup": run.speedup,
+        "ideal_speedup": run.ideal_speedup,
+        "avg_active_flows": pap.average_active_flows,
+        "switching_overhead": pap.switching_overhead,
+        "deactivations": pap.deactivations,
+        "convergence_merges": pap.convergence_merges,
+        "fiv_invalidations": pap.fiv_invalidations,
+        "reports": len(pap.reports),
+        "event_amplification": pap.event_amplification,
+        "golden_fallback": pap.golden_fallback,
+        "reports_match": run.reports_match,
+        "svc": pap.extra.get("svc", {}),
+    }
+
+
+def _print_run_text(summary: dict) -> None:
+    print(
+        f"benchmark        : {summary['benchmark']} "
+        f"(scale {summary['scale']})"
+    )
+    print(f"automaton        : {summary['states']} states")
+    print(f"trace            : {summary['trace_bytes']} bytes")
+    print(
+        f"segments         : {summary['segments']} "
+        f"on {summary['ranks']} rank(s)"
+    )
+    print(f"baseline cycles  : {summary['baseline_cycles']}")
+    print(f"PAP cycles       : {summary['pap_cycles']}")
+    print(
+        f"speedup          : {summary['speedup']:.2f}x "
+        f"(ideal {summary['ideal_speedup']}x)"
+    )
+    print(f"avg active flows : {summary['avg_active_flows']:.2f}")
+    print(
+        f"dynamics         : {summary['deactivations']} deactivated, "
+        f"{summary['convergence_merges']} converged, "
+        f"{summary['fiv_invalidations']} FIV-killed"
+    )
+    svc = summary["svc"]
+    if svc:
+        print(
+            f"state-vector $   : peak {svc.get('peak_occupancy', 0)}"
+            f"/{svc.get('capacity', 0)} occupied, "
+            f"{svc.get('saves', 0)} saves, {svc.get('hits', 0)} hits, "
+            f"{svc.get('misses', 0)} misses"
+        )
+    print(
+        f"reports          : {summary['reports']} "
+        f"(amplification {summary['event_amplification']:.2f}x, "
+        f"verified {'OK' if summary['reports_match'] else 'MISMATCH'})"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     bench = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    tracer = Tracer() if (args.trace or args.profile) else None
     run = run_benchmark(
         bench,
         ranks=args.ranks,
         trace_bytes=args.trace_bytes,
         modeled_bytes=PAPER_BYTES.get(args.model_input),
         trace_seed=args.seed + 1,
+        observer=tracer,
     )
-    pap = run.pap
-    print(f"benchmark        : {run.name} (scale {args.scale})")
-    print(f"automaton        : {bench.automaton.num_states} states")
-    print(f"trace            : {run.trace_bytes} bytes")
-    print(f"segments         : {pap.num_segments} on {args.ranks} rank(s)")
-    print(f"baseline cycles  : {run.baseline.total_cycles}")
-    print(f"PAP cycles       : {pap.total_cycles}")
-    print(f"speedup          : {run.speedup:.2f}x (ideal {run.ideal_speedup}x)")
-    print(f"avg active flows : {pap.average_active_flows:.2f}")
+    summary = _run_summary(run, bench, args)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        _print_run_text(summary)
+    if tracer is not None and args.trace:
+        tracer.write_chrome(args.trace, domain=args.trace_domain)
+        print(
+            f"trace written    : {args.trace} "
+            f"({args.trace_domain} domain, open in ui.perfetto.dev)",
+            file=sys.stderr if args.format == "json" else sys.stdout,
+        )
+    if tracer is not None and args.profile:
+        # With JSON output the profile goes to stderr so stdout stays
+        # machine-readable.
+        stream = sys.stderr if args.format == "json" else sys.stdout
+        print(tracer.text_profile(), file=stream)
+    return 0 if run.reports_match else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.validate:
+        try:
+            with open(args.target, "r", encoding="utf-8") as handle:
+                trace = json.load(handle)
+            payload = validate_chrome_trace(trace)
+        except (OSError, ValueError) as error:
+            print(f"invalid trace {args.target!r}: {error}")
+            return 1
+        tracks = {
+            record["tid"] for record in payload if "tid" in record
+        }
+        print(
+            f"{args.target}: valid Chrome trace-event JSON "
+            f"({len(payload)} events on {len(tracks)} track(s), "
+            f"domain {trace.get('otherData', {}).get('domain', '?')})"
+        )
+        return 0
+    if args.target not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {args.target!r} (see `repro list`); "
+            "to check an existing trace file use --validate"
+        )
+    bench = build_benchmark(args.target, scale=args.scale, seed=args.seed)
+    tracer = Tracer()
+    run = run_benchmark(
+        bench,
+        ranks=args.ranks,
+        trace_bytes=args.trace_bytes,
+        trace_seed=args.seed + 1,
+        observer=tracer,
+    )
+    output = args.output or f"{args.target}.trace.json"
+    tracer.write_chrome(output, domain=args.domain)
     print(
-        f"dynamics         : {pap.deactivations} deactivated, "
-        f"{pap.convergence_merges} converged, "
-        f"{pap.fiv_invalidations} FIV-killed"
+        f"{run.name}: {len(tracer.events)} trace events "
+        f"across {len(tracer.tracks())} tracks -> {output} "
+        f"({args.domain} domain, open in ui.perfetto.dev)"
     )
-    print(
-        f"reports          : {len(pap.reports)} "
-        f"(amplification {pap.event_amplification:.2f}x, "
-        f"verified {'OK' if run.reports_match else 'MISMATCH'})"
-    )
+    if args.profile:
+        print(tracer.text_profile())
     return 0 if run.reports_match else 1
 
 
@@ -264,7 +381,66 @@ def build_parser() -> argparse.ArgumentParser:
         default="1MB",
         help="paper input size the trace stands in for",
     )
+    run_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="summary output format",
+    )
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run (Perfetto)",
+    )
+    run_parser.add_argument(
+        "--trace-domain",
+        choices=("cycles", "wall"),
+        default="cycles",
+        help="time domain of the exported trace",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the aggregated text profile after the summary",
+    )
     _add_common(run_parser)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="record or validate a PAP execution trace",
+        description=(
+            "Run one benchmark under the repro.obs tracer and write "
+            "Chrome trace-event JSON (loadable in ui.perfetto.dev), "
+            "or validate an existing trace file with --validate."
+        ),
+    )
+    trace_parser.add_argument(
+        "target", help="benchmark name, or a trace .json with --validate"
+    )
+    trace_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="treat TARGET as a trace file and check its shape",
+    )
+    trace_parser.add_argument(
+        "-o", "--output", help="trace path (default <benchmark>.trace.json)"
+    )
+    trace_parser.add_argument(
+        "--domain",
+        choices=("cycles", "wall"),
+        default="cycles",
+        help="time domain of the exported trace",
+    )
+    trace_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print the aggregated text profile",
+    )
+    trace_parser.add_argument(
+        "--ranks", type=int, default=1, choices=(1, 2, 4)
+    )
+    trace_parser.add_argument("--trace-bytes", type=int, default=65_536)
+    _add_common(trace_parser)
 
     match_parser = commands.add_parser(
         "match", help="scan a file with regex patterns"
@@ -354,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "match": _cmd_match,
     "lint": _cmd_lint,
     "table1": _cmd_table1,

@@ -61,9 +61,18 @@ class PAPRunResult:
 
     @property
     def event_amplification(self) -> float:
-        """Output-report increase due to false paths (Figure 12)."""
+        """Output-report increase due to false paths (Figure 12).
+
+        Edge cases: with zero true events the ratio is undefined — zero
+        raw events means *no* amplification (exactly ``1.0``, e.g. an
+        empty input or a matchless trace), while raw events with no true
+        ones report the raw count itself (every event was a false-path
+        artifact).
+        """
         if self.true_events == 0:
-            return float(self.raw_events) if self.raw_events else 1.0
+            if self.raw_events == 0:
+                return 1.0
+            return float(self.raw_events)
         return self.raw_events / self.true_events
 
     @property

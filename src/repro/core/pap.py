@@ -40,6 +40,7 @@ from repro.core.ranges import (
 from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
 from repro.host.decode import false_path_decode_cycles
 from repro.host.reporting import report_processing_cycles
+from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, TRACK_RUN, Observer
 
 _EMPTY_STATS = FlowReductionStats(0, 0, 0, 0)
 
@@ -83,6 +84,10 @@ class ParallelAutomataProcessor:
         accepting the automaton; error-level diagnostics raise
         :class:`~repro.errors.LintError`.  Pass ``False`` to opt out
         (e.g. for deliberately pathological inputs in experiments).
+    observer:
+        Instrumentation sink (:mod:`repro.obs`).  Defaults to the null
+        observer; pass a :class:`~repro.obs.Tracer` to record
+        cycle-domain spans, flow lifecycle events, and metrics.
     """
 
     def __init__(
@@ -92,9 +97,11 @@ class ParallelAutomataProcessor:
         config: PAPConfig = DEFAULT_CONFIG,
         half_cores: int | None = None,
         lint: bool = True,
+        observer: Observer | None = None,
     ) -> None:
         self.automaton = automaton
         self.config = config
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.analysis = AutomatonAnalysis(automaton)
         if lint:
             # Imported here: repro.lint depends on repro.core helpers,
@@ -133,6 +140,32 @@ class ParallelAutomataProcessor:
 
     def plan(self, data: bytes) -> PAPPlan:
         """Range profiling, input partitioning, and flow planning."""
+        obs = self.observer
+        span = obs.begin_span(
+            "plan", track=TRACK_RUN, args={"input_bytes": len(data)}
+        )
+        result = self._plan(data)
+        if obs.enabled:
+            obs.metrics.gauge("plan.max_flows").set(
+                result.max_planned_flows
+            )
+            obs.end_span(
+                span,
+                args={
+                    "segments": len(result.segments),
+                    "max_planned_flows": result.max_planned_flows,
+                    "partition_symbol": (
+                        result.partition_choice.symbol
+                        if result.partition_choice is not None
+                        else None
+                    ),
+                },
+            )
+        else:
+            obs.end_span(span)
+        return result
+
+    def _plan(self, data: bytes) -> PAPPlan:
         if not data:
             return PAPPlan(segments=(), partition_choice=None)
         exclude = (
@@ -218,9 +251,17 @@ class ParallelAutomataProcessor:
         (always-decode) chain, since the host only builds an FIV while
         the target segment still has live flows.
         """
+        obs = self.observer
+        run_span = obs.begin_span(
+            "run", track=TRACK_RUN, cycle=0, args={"input_bytes": len(data)}
+        )
         plan = self.plan(data)
         scheduler = SegmentScheduler(
-            self.compiled, self.analysis, self.config, self.path_independent
+            self.compiled,
+            self.analysis,
+            self.config,
+            self.path_independent,
+            observer=obs,
         )
         timing = self.config.timing
 
@@ -231,8 +272,12 @@ class ParallelAutomataProcessor:
         previous_matched: frozenset[int] = frozenset()
 
         for segment_plan in plan.segments:
+            index = segment_plan.segment.index
             if segment_plan.is_golden:
                 result = scheduler.run_segment(data, segment_plan)
+                compose_span = obs.begin_span(
+                    f"compose[{index}]", track=TRACK_HOST
+                )
                 composed = compose_segment(result, {}, self.analysis)
             else:
                 truth = unit_truth_map(segment_plan.flows, previous_matched)
@@ -244,7 +289,17 @@ class ParallelAutomataProcessor:
                 result = scheduler.run_segment(
                     data, segment_plan, unit_truth=truth, fiv_time=fiv_time
                 )
+                compose_span = obs.begin_span(
+                    f"compose[{index}]", track=TRACK_HOST
+                )
                 composed = compose_segment(result, truth, self.analysis)
+            obs.end_span(
+                compose_span,
+                args={
+                    "true_events": composed.true_events,
+                    "raw_events": composed.raw_events,
+                },
+            )
             decode = false_path_decode_cycles(
                 max(1, result.metrics.flows_at_end), timing=timing
             )
@@ -278,6 +333,16 @@ class ParallelAutomataProcessor:
             )
             tcpu_values.append(tcpu)
             truth_times.append(availability)
+            if obs.enabled and tcpu:
+                # Cycle-domain decode span, placed retroactively on the
+                # availability chain (T_cpu of Section 3.4).
+                obs.complete_span(
+                    f"decode[{result.plan.segment.index}]",
+                    track=TRACK_HOST,
+                    cycle_start=availability - tcpu,
+                    cycle_end=availability,
+                    args={"flows": result.metrics.flows_at_end},
+                )
 
         reports = frozenset().union(
             *(composed.true_reports for composed in composed_segments)
@@ -289,6 +354,35 @@ class ParallelAutomataProcessor:
             + report_processing_cycles(raw_events)
         )
         golden_cycles = len(data) + report_processing_cycles(len(reports))
+
+        svc_totals: dict[str, int] = {}
+        for result in segment_results:
+            for key, value in result.metrics.svc_stats.items():
+                if key in ("peak_occupancy", "capacity", "occupied"):
+                    svc_totals[key] = max(svc_totals.get(key, 0), value)
+                else:
+                    svc_totals[key] = svc_totals.get(key, 0) + value
+
+        if obs.enabled:
+            if golden_cycles < enumeration_cycles:
+                obs.instant(
+                    "golden-fallback",
+                    track=TRACK_RUN,
+                    cycle=golden_cycles,
+                    args={
+                        "golden_cycles": golden_cycles,
+                        "enumeration_cycles": enumeration_cycles,
+                    },
+                )
+                obs.metrics.counter("pap.golden_fallbacks").inc()
+            for key, value in svc_totals.items():
+                obs.metrics.gauge(f"svc.{key}").set(value)
+            obs.metrics.counter("pap.runs").inc()
+        obs.end_span(
+            run_span,
+            cycle=min(enumeration_cycles, golden_cycles),
+            args={"reports": len(reports)},
+        )
 
         return PAPRunResult(
             reports=reports,
@@ -302,4 +396,5 @@ class ParallelAutomataProcessor:
             golden_cycles=golden_cycles,
             svc_overflow=plan.max_planned_flows + 1 > self.config.max_flows,
             input_bytes=len(data),
+            extra={"svc": svc_totals},
         )

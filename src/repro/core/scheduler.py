@@ -42,10 +42,12 @@ from dataclasses import dataclass, field
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.execution import CompiledAutomaton, FlowExecution
-from repro.ap.events import OutputEvent
+from repro.ap.events import OutputEvent, OutputEventBuffer
+from repro.ap.state_vector import StateVector, StateVectorCache
 from repro.core.config import PAPConfig
 from repro.core.merging import FlowReductionStats, PlannedFlow
 from repro.core.partitioning import InputSegment
+from repro.obs.tracer import NULL_OBSERVER, Observer
 
 ASG_FLOW_ID = -1
 GOLDEN_FLOW_ID = -2
@@ -84,6 +86,8 @@ class SegmentMetrics:
     transitions: int = 0
     flows_at_end: int = 0
     enum_flows_at_end: int = 0
+    svc_stats: dict[str, int] = field(default_factory=dict)
+    """State-vector-cache counters (see ``StateVectorCache.stats``)."""
 
     @property
     def average_active_flows(self) -> float:
@@ -130,11 +134,13 @@ class SegmentScheduler:
         analysis: AutomatonAnalysis,
         config: PAPConfig,
         path_independent: frozenset[int],
+        observer: Observer | None = None,
     ) -> None:
         self.compiled = compiled
         self.analysis = analysis
         self.config = config
         self.path_independent = path_independent
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     # -- public API --------------------------------------------------------
 
@@ -161,26 +167,37 @@ class SegmentScheduler:
 
     def _run_golden(self, data: bytes, plan: SegmentPlan) -> SegmentResult:
         segment = plan.segment
+        obs = self.observer
+        track = f"seg{segment.index}"
+        span = obs.begin_span(
+            f"segment[{segment.index}]",
+            track=track,
+            cycle=0,
+            args={
+                "kind": "golden",
+                "start": segment.start,
+                "end": segment.end,
+            },
+        )
         execution = FlowExecution(self.compiled)
         execution.run(data[segment.start : segment.end], segment.start)
+        buffer = OutputEventBuffer(observer=obs, track=track)
+        buffer.push_all(execution.reports, GOLDEN_FLOW_ID)
+        events = buffer.drain()
         metrics = SegmentMetrics(
             symbol_cycles=segment.length,
             finish_cycles=segment.length,
             tdm_steps=1,
             active_flow_samples=[1],
-            raw_events=len(execution.reports),
+            raw_events=buffer.raw_events,
             transitions=execution.transitions,
             flows_at_end=1,
         )
-        events = [
-            OutputEvent(
-                offset=r.offset,
-                report_code=r.code,
-                element=r.element,
-                flow_id=GOLDEN_FLOW_ID,
-            )
-            for r in execution.reports
-        ]
+        obs.end_span(
+            span,
+            cycle=segment.length,
+            args={"raw_events": metrics.raw_events},
+        )
         return SegmentResult(
             plan=plan,
             events=events,
@@ -243,12 +260,48 @@ class SegmentScheduler:
     ) -> SegmentResult:
         config = self.config
         segment = plan.segment
+        obs = self.observer
+        track = f"seg{segment.index}"
         flows = self._make_flows(plan)
         metrics = SegmentMetrics()
         history: dict[int, list[tuple[int, int]]] = {}
         for planned in plan.flows:
             for unit in planned.units:
                 history[unit.unit_id] = [(planned.flow_id, segment.start)]
+
+        span = obs.begin_span(
+            f"segment[{segment.index}]",
+            track=track,
+            cycle=0,
+            args={
+                "kind": "enumerated",
+                "start": segment.start,
+                "end": segment.end,
+                "flows": len(flows),
+                "units": plan.num_units,
+            },
+        )
+        # Every flow — ASG included — owns one state-vector-cache slot;
+        # the capacity is widened for over-capacity plans (the overflow
+        # itself is already flagged as ``PAPRunResult.svc_overflow``).
+        svc = StateVectorCache(capacity=max(config.max_flows, len(flows)))
+        obs.metrics.counter("flows.spawned").inc(len(flows))
+        for flow in flows:
+            svc.save(
+                flow.flow_id,
+                StateVector(active=flow.execution.state_vector()),
+            )
+            if obs.enabled:
+                obs.instant(
+                    "flow-spawn",
+                    track=track,
+                    cycle=0,
+                    args={
+                        "flow": flow.flow_id,
+                        "kind": flow.kind,
+                        "units": len(flow.unit_ids),
+                    },
+                )
 
         fiv_pending = (
             config.use_fiv and fiv_time is not None and unit_truth is not None
@@ -269,6 +322,8 @@ class SegmentScheduler:
             for flow in live:
                 if flow.kind != "asg":
                     continue
+                if pay_switch and step > 0:
+                    svc.restore(flow.flow_id)
                 consumed = self._process_asg_slice(
                     flow,
                     data,
@@ -280,8 +335,12 @@ class SegmentScheduler:
                 time += consumed + (switch_cost if pay_switch else 0)
             asg_end = asg_snapshots.get(length, frozenset())
             for flow in live:
+                if flow.kind == "asg" and pay_switch:
+                    svc.save(flow.flow_id, StateVector(active=asg_end))
                 if flow.kind != "enum":
                     continue
+                if pay_switch and step > 0:
+                    svc.restore(flow.flow_id)
                 consumed = self._process_slice(
                     flow,
                     data,
@@ -291,20 +350,38 @@ class SegmentScheduler:
                     history,
                     metrics,
                     first_step=step == 0,
+                    svc=svc,
+                    time_base=time,
+                    track=track,
                 )
                 time += consumed + (switch_cost if pay_switch else 0)
-                if (
-                    config.use_deactivation
-                    and flow.alive
-                    and flow.execution.state_vector() == asg_end
-                ):
-                    self._deactivate(
-                        flow, position + length, history, metrics
-                    )
+                if flow.alive and (config.use_deactivation or pay_switch):
+                    vector = flow.execution.state_vector()
+                    if config.use_deactivation and vector == asg_end:
+                        self._deactivate(
+                            flow,
+                            position + length,
+                            history,
+                            metrics,
+                            svc=svc,
+                            cycle=time,
+                            track=track,
+                        )
+                    elif pay_switch:
+                        svc.save(
+                            flow.flow_id, StateVector(active=vector)
+                        )
             position += length
             step += 1
             metrics.tdm_steps = step
             metrics.active_flow_samples.append(len(live))
+            if obs.enabled:
+                obs.counter(
+                    "active_flows", len(live), track=track, cycle=time
+                )
+                obs.counter(
+                    "svc_occupied", svc.occupied(), track=track, cycle=time
+                )
 
             if fiv_pending and time >= fiv_time:
                 fiv_pending = False
@@ -318,13 +395,37 @@ class SegmentScheduler:
                     ):
                         flow.alive = False
                         metrics.fiv_invalidations += 1
+                        svc.invalidate(flow.flow_id)
+                        obs.metrics.counter("flows.fiv_killed").inc()
+                        if obs.enabled:
+                            obs.instant(
+                                "flow-fiv-kill",
+                                track=track,
+                                cycle=time,
+                                args={"flow": flow.flow_id},
+                            )
+                if obs.enabled:
+                    obs.instant(
+                        "fiv-applied",
+                        track=track,
+                        cycle=time,
+                        args={"killed": metrics.fiv_invalidations},
+                    )
 
             if (
                 config.use_convergence
                 and step % config.convergence_period_steps == 0
             ):
                 before = metrics.convergence_comparisons
-                self._converge(flows, position, history, metrics)
+                self._converge(
+                    flows,
+                    position,
+                    history,
+                    metrics,
+                    svc=svc,
+                    cycle=time,
+                    track=track,
+                )
                 if not config.timing.convergence_checks_overlapped:
                     # Section 3.3.3: checks *can* be overlapped because
                     # the state vector cache is idle during symbol
@@ -344,19 +445,24 @@ class SegmentScheduler:
         metrics.enum_flows_at_end = sum(
             1 for flow in flows if flow.alive and flow.kind == "enum"
         )
+        metrics.svc_stats = svc.stats()
 
-        events: list[OutputEvent] = []
+        buffer = OutputEventBuffer(observer=obs, track=track)
         for flow in flows:
-            for report in flow.execution.reports:
-                events.append(
-                    OutputEvent(
-                        offset=report.offset,
-                        report_code=report.code,
-                        element=report.element,
-                        flow_id=flow.flow_id,
-                    )
-                )
-        metrics.raw_events = len(events)
+            buffer.push_all(flow.execution.reports, flow.flow_id)
+        events = buffer.drain()
+        metrics.raw_events = buffer.raw_events
+        obs.end_span(
+            span,
+            cycle=metrics.finish_cycles,
+            args={
+                "flows_at_end": metrics.flows_at_end,
+                "raw_events": metrics.raw_events,
+                "deactivations": metrics.deactivations,
+                "convergence_merges": metrics.convergence_merges,
+                "fiv_invalidations": metrics.fiv_invalidations,
+            },
+        )
 
         final_currents = {
             flow.flow_id: (
@@ -419,6 +525,9 @@ class SegmentScheduler:
         metrics: SegmentMetrics,
         *,
         first_step: bool,
+        svc: StateVectorCache,
+        time_base: int,
+        track: str,
     ) -> int:
         """Run one enumeration flow over one slice; returns symbols
         consumed.
@@ -427,7 +536,8 @@ class SegmentScheduler:
         ``early_check_symbols`` against the ASG flow's vector at the
         same offset, so unproductive flows stop paying for the full
         slice (Section 3.3.4's early checks: most false flows die within
-        ~20 symbols).
+        ~20 symbols).  ``time_base`` is the segment clock when this
+        slice starts (for event timestamps).
         """
         if (
             first_step
@@ -446,7 +556,13 @@ class SegmentScheduler:
                 reference = asg_snapshots.get(consumed, frozenset())
                 if flow.execution.state_vector() == reference:
                     self._deactivate(
-                        flow, position + consumed, history, metrics
+                        flow,
+                        position + consumed,
+                        history,
+                        metrics,
+                        svc=svc,
+                        cycle=time_base + consumed,
+                        track=track,
                     )
                     break
             return consumed
@@ -459,6 +575,10 @@ class SegmentScheduler:
         position: int,
         history: dict[int, list[tuple[int, int]]],
         metrics: SegmentMetrics,
+        *,
+        svc: StateVectorCache,
+        cycle: int,
+        track: str,
     ) -> None:
         """Deactivate a flow that converged with the ASG reference.
 
@@ -468,8 +588,18 @@ class SegmentScheduler:
         """
         flow.alive = False
         metrics.deactivations += 1
+        svc.invalidate(flow.flow_id)
         for unit_id in flow.unit_ids:
             history[unit_id].append((ASG_FLOW_ID, position))
+        obs = self.observer
+        obs.metrics.counter("flows.deactivated").inc()
+        if obs.enabled:
+            obs.instant(
+                "flow-deactivate",
+                track=track,
+                cycle=cycle,
+                args={"flow": flow.flow_id, "offset": position},
+            )
 
     def _converge(
         self,
@@ -477,6 +607,10 @@ class SegmentScheduler:
         position: int,
         history: dict[int, list[tuple[int, int]]],
         metrics: SegmentMetrics,
+        *,
+        svc: StateVectorCache,
+        cycle: int,
+        track: str,
     ) -> None:
         """Merge live enumeration flows with identical state vectors.
 
@@ -484,14 +618,17 @@ class SegmentScheduler:
         so equal vectors imply identical futures.  The survivor (lowest
         flow id) absorbs the merged flows' units; the assignment history
         records from which offset the survivor's events speak for them.
-        Comparator invocations are counted; their latency is overlapped
-        with symbol processing (Section 3.3.3) unless configured
-        otherwise.
+        Comparator invocations are counted (the comparator lives in the
+        state-vector cache); their latency is overlapped with symbol
+        processing (Section 3.3.3) unless configured otherwise.
         """
         live = [flow for flow in flows if flow.alive and flow.kind == "enum"]
         if len(live) < 2:
             return
-        metrics.convergence_comparisons += len(live) * (len(live) - 1) // 2
+        pairs = len(live) * (len(live) - 1) // 2
+        metrics.convergence_comparisons += pairs
+        svc.comparisons += pairs
+        obs = self.observer
         by_vector: dict[frozenset[int], _RuntimeFlow] = {}
         for flow in sorted(live, key=lambda f: f.flow_id):
             vector = flow.execution.state_vector()
@@ -501,6 +638,19 @@ class SegmentScheduler:
                 continue
             flow.alive = False
             metrics.convergence_merges += 1
+            svc.invalidate(flow.flow_id)
             survivor.unit_ids.extend(flow.unit_ids)
             for unit_id in flow.unit_ids:
                 history[unit_id].append((survivor.flow_id, position))
+            obs.metrics.counter("flows.converged").inc()
+            if obs.enabled:
+                obs.instant(
+                    "flow-converge",
+                    track=track,
+                    cycle=cycle,
+                    args={
+                        "survivor": survivor.flow_id,
+                        "merged": flow.flow_id,
+                        "offset": position,
+                    },
+                )

@@ -1,0 +1,56 @@
+"""repro.obs — observability for PAP executions.
+
+The instrumentation spine of the simulator: a span/event tracer that
+records in both simulated-cycle and host wall-clock domains
+(:mod:`repro.obs.tracer`), a counter/gauge/histogram metrics registry
+(:mod:`repro.obs.metrics`), a Chrome trace-event exporter loadable in
+Perfetto (:mod:`repro.obs.chrome`), and a text profiler
+(:mod:`repro.obs.profile`).
+
+The :class:`Observer` base class is a null object — hooks threaded
+through :class:`~repro.core.pap.ParallelAutomataProcessor`, the
+segment scheduler, host composition, the state-vector cache, and the
+event buffer cost near-zero until a :class:`Tracer` is attached::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    result = ParallelAutomataProcessor(automaton, observer=tracer).run(data)
+    tracer.write_chrome("trace.json")     # open in ui.perfetto.dev
+    print(tracer.text_profile())
+"""
+
+from repro.obs.chrome import export_chrome_trace, validate_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+from repro.obs.profile import render_profile
+from repro.obs.tracer import (
+    CountingObserver,
+    NULL_OBSERVER,
+    Observer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "CountingObserver",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
+    "Observer",
+    "TraceEvent",
+    "Tracer",
+    "export_chrome_trace",
+    "render_profile",
+    "validate_chrome_trace",
+]

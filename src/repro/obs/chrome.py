@@ -1,0 +1,177 @@
+"""Chrome trace-event JSON export (Perfetto-loadable).
+
+The exporter turns a tracer's event list into the Trace Event Format
+(the ``{"traceEvents": [...]}`` object understood by ``chrome://tracing``
+and https://ui.perfetto.dev): one *thread* per track — ``run``, one
+track per segment, ``host`` — with ``X`` (complete) events for spans,
+``i`` instants for flow lifecycle / FIV / golden-fallback markers, and
+``C`` counter events for slice occupancy and cache fill.
+
+Two export domains mirror the tracer's dual clocks:
+
+* ``cycles`` (default) — timestamps are simulated symbol cycles,
+  rendered 1 cycle = 1 µs so Perfetto's microsecond ruler reads as a
+  cycle count.  Events without cycle timestamps are dropped.
+* ``wall`` — timestamps are host nanoseconds rebased to the first
+  event; this profiles the simulator itself.
+
+:func:`validate_chrome_trace` is the shape check used by tests and the
+CI smoke job before a trace is uploaded as an artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import COUNTER, INSTANT, SPAN, TraceEvent
+
+DOMAINS = ("cycles", "wall")
+
+PROCESS_NAME = "PAP"
+_PID = 1
+
+
+def _timestamps(
+    event: TraceEvent, domain: str, wall_base_ns: int
+) -> tuple[float, float | None] | None:
+    """(ts, dur) in microseconds for ``event``, or ``None`` to skip."""
+    if domain == "cycles":
+        if event.cycle_start is None:
+            return None
+        start = float(event.cycle_start)
+        if event.kind != SPAN:
+            return start, None
+        end = event.cycle_end
+        return start, (float(end) - start if end is not None else 0.0)
+    start = (event.wall_start_ns - wall_base_ns) / 1_000.0
+    if event.kind != SPAN:
+        return start, None
+    if event.wall_end_ns is None:
+        return start, 0.0
+    return start, (event.wall_end_ns - event.wall_start_ns) / 1_000.0
+
+
+def export_chrome_trace(
+    events: Iterable[TraceEvent],
+    *,
+    domain: str = "cycles",
+    metrics: dict[str, Any] | None = None,
+) -> dict:
+    """Render ``events`` as a Chrome trace-event JSON object."""
+    if domain not in DOMAINS:
+        raise ConfigurationError(
+            f"unknown trace domain {domain!r}: expected one of {DOMAINS}"
+        )
+    events = list(events)
+    wall_base_ns = min(
+        (event.wall_start_ns for event in events), default=0
+    )
+
+    tids: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for event in events:
+        tid = tids.get(event.track)
+        if tid is None:
+            tid = tids[event.track] = len(tids) + 1
+        stamps = _timestamps(event, domain, wall_base_ns)
+        if stamps is None:
+            continue
+        ts, dur = stamps
+        record: dict[str, Any] = {
+            "name": event.name,
+            "pid": _PID,
+            "tid": tid,
+            "ts": ts,
+        }
+        if event.kind == SPAN:
+            record["ph"] = "X"
+            record["dur"] = dur if dur is not None else 0.0
+            if event.args:
+                record["args"] = event.args
+        elif event.kind == INSTANT:
+            record["ph"] = "i"
+            record["s"] = "t"
+            if event.args:
+                record["args"] = event.args
+        elif event.kind == COUNTER:
+            record["ph"] = "C"
+            record["args"] = {event.name: event.value}
+        else:  # pragma: no cover - tracer only emits the three kinds
+            continue
+        trace_events.append(record)
+
+    metadata: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": PROCESS_NAME},
+        }
+    ]
+    for track, tid in tids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "domain": domain,
+            "timestampUnit": (
+                "symbol cycles (1 cycle rendered as 1us)"
+                if domain == "cycles"
+                else "host microseconds"
+            ),
+            "metrics": metrics or {},
+        },
+    }
+
+
+def validate_chrome_trace(trace: Any) -> list[dict]:
+    """Check ``trace`` against the Chrome trace-event shape.
+
+    Returns the (non-metadata) event records on success; raises
+    ``ValueError`` naming the first offending record otherwise.  This
+    is deliberately strict about the fields Perfetto needs — ``name``,
+    ``ph``, ``ts``, ``pid``, ``tid``, and ``dur`` for complete events.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    payload: list[dict] = []
+    for index, record in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where} is not an object")
+        phase = record.get("ph")
+        if not isinstance(phase, str) or not phase:
+            raise ValueError(f"{where} missing phase 'ph'")
+        if not isinstance(record.get("name"), str):
+            raise ValueError(f"{where} missing 'name'")
+        if not isinstance(record.get("pid"), int):
+            raise ValueError(f"{where} missing integer 'pid'")
+        if phase == "M":
+            continue
+        if not isinstance(record.get("tid"), int):
+            raise ValueError(f"{where} missing integer 'tid'")
+        if not isinstance(record.get("ts"), (int, float)):
+            raise ValueError(f"{where} missing numeric 'ts'")
+        if phase == "X" and not isinstance(
+            record.get("dur"), (int, float)
+        ):
+            raise ValueError(f"{where} complete event missing 'dur'")
+        if phase == "C" and not isinstance(record.get("args"), dict):
+            raise ValueError(f"{where} counter event missing 'args'")
+        payload.append(record)
+    return payload

@@ -1,0 +1,105 @@
+"""Human-readable run profiles from recorded traces.
+
+Where the Chrome export preserves every event for timeline inspection,
+the profile answers the quick questions — where did the cycles go, how
+many flows died and how, what did the cache do — as an aligned text
+report:
+
+* spans aggregated by (track, name): count, total/mean cycles, wall ms;
+* instants tallied by name (flow lifecycle and marker volumes);
+* final/peak value per counter series;
+* the metrics-registry snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.tracer import COUNTER, INSTANT, SPAN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
+
+
+def _format_cycles(value: float | None) -> str:
+    return f"{value:,.0f}" if value is not None else "-"
+
+
+def render_profile(tracer: "Tracer") -> str:
+    """Render ``tracer``'s events and metrics as an aligned report."""
+    spans: dict[tuple[str, str], list] = {}
+    instants: dict[str, int] = {}
+    counters: dict[tuple[str, str], list[float]] = {}
+
+    for event in tracer.events:
+        if event.kind == SPAN:
+            spans.setdefault((event.track, event.name), []).append(event)
+        elif event.kind == INSTANT:
+            instants[event.name] = instants.get(event.name, 0) + 1
+        elif event.kind == COUNTER and event.value is not None:
+            counters.setdefault((event.track, event.name), []).append(
+                event.value
+            )
+
+    lines: list[str] = ["== PAP run profile =="]
+
+    if spans:
+        lines.append("")
+        lines.append(
+            f"{'span':<28}{'track':<14}{'count':>6}"
+            f"{'cycles':>14}{'avg cyc':>12}{'wall ms':>10}"
+        )
+        for (track, name), group in sorted(spans.items()):
+            cycle_total = 0
+            cycle_known = False
+            wall_total_ns = 0
+            for event in group:
+                duration = event.cycle_duration
+                if duration is not None:
+                    cycle_total += duration
+                    cycle_known = True
+                wall = event.wall_duration_ns
+                if wall is not None:
+                    wall_total_ns += wall
+            mean = cycle_total / len(group) if cycle_known else None
+            lines.append(
+                f"{name:<28}{track:<14}{len(group):>6}"
+                f"{_format_cycles(cycle_total if cycle_known else None):>14}"
+                f"{_format_cycles(mean):>12}"
+                f"{wall_total_ns / 1e6:>10.3f}"
+            )
+
+    if instants:
+        lines.append("")
+        lines.append(f"{'instant':<42}{'count':>6}")
+        for name, count in sorted(instants.items()):
+            lines.append(f"{name:<42}{count:>6}")
+
+    if counters:
+        lines.append("")
+        lines.append(
+            f"{'counter':<28}{'track':<14}{'samples':>8}"
+            f"{'last':>12}{'peak':>12}"
+        )
+        for (track, name), values in sorted(counters.items()):
+            lines.append(
+                f"{name:<28}{track:<14}{len(values):>8}"
+                f"{values[-1]:>12g}{max(values):>12g}"
+            )
+
+    snapshot = tracer.metrics.snapshot()
+    if snapshot:
+        lines.append("")
+        lines.append(f"{'metric':<42}{'value':>14}")
+        for name, payload in snapshot.items():
+            if payload["type"] == "counter":
+                rendered = f"{payload['value']:,}"
+            elif payload["type"] == "gauge":
+                rendered = f"{payload['value']:g}"
+            else:
+                rendered = (
+                    f"n={payload['count']} mean={payload['mean']:.1f}"
+                )
+            lines.append(f"{name:<42}{rendered:>14}")
+
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ from repro.core.config import DEFAULT_CONFIG, PAPConfig
 from repro.core.metrics import PAPRunResult
 from repro.core.pap import ParallelAutomataProcessor
 from repro.errors import ExecutionError
+from repro.obs.tracer import Observer, Tracer
 from repro.workloads.suite import BenchmarkInstance
 
 
@@ -30,6 +31,9 @@ class BenchmarkRun:
     baseline: BaselineResult
     pap: PAPRunResult
     reports_match: bool
+    trace: Tracer | None = None
+    """The run's tracer when one was attached (``observer=Tracer()``),
+    so sweep results carry their traces alongside their metrics."""
 
     @property
     def speedup(self) -> float:
@@ -59,6 +63,7 @@ def run_benchmark(
     trace_seed: int = 1,
     config: PAPConfig = DEFAULT_CONFIG,
     verify_reports: bool = True,
+    observer: Observer | None = None,
 ) -> BenchmarkRun:
     """Run one benchmark end to end and package the measurement.
 
@@ -68,6 +73,11 @@ def run_benchmark(
     host decode, FIV transfer) are shrunk by the same factor so every
     speedup ratio matches the full-size experiment — see
     :meth:`repro.ap.timing.TimingModel.scaled_for_input`.
+
+    ``observer`` threads an :mod:`repro.obs` instrumentation sink
+    through the PAP execution; when it is a
+    :class:`~repro.obs.Tracer`, the returned run carries it as
+    ``run.trace``.
     """
     board = BoardGeometry(ranks=ranks)
     timing = config.timing
@@ -81,6 +91,7 @@ def run_benchmark(
         benchmark.automaton,
         config=config,
         half_cores=benchmark.half_cores,
+        observer=observer,
     ).run(data)
 
     matches = pap.reports == baseline.reports
@@ -98,6 +109,7 @@ def run_benchmark(
         baseline=baseline,
         pap=pap,
         reports_match=matches,
+        trace=observer if isinstance(observer, Tracer) else None,
     )
 
 

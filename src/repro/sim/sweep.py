@@ -10,8 +10,13 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core.config import DEFAULT_CONFIG, PAPConfig
+from repro.obs.tracer import Tracer
 from repro.sim.runner import BenchmarkRun, run_benchmark
 from repro.workloads.suite import BenchmarkInstance
+
+# Every sweep accepts ``trace=True``: each point then runs under its own
+# :class:`~repro.obs.Tracer`, and the resulting ``BenchmarkRun.trace``
+# carries the full cycle-domain trace for that configuration.
 
 ABLATION_TOGGLES: tuple[str, ...] = (
     "use_connected_components",
@@ -31,6 +36,7 @@ def context_switch_sweep(
     trace_bytes: int = 65_536,
     modeled_bytes: int | None = None,
     config: PAPConfig = DEFAULT_CONFIG,
+    trace: bool = False,
 ) -> dict[int, BenchmarkRun]:
     """Speedup at each context-switch cost multiplier (Section 5.3)."""
     results: dict[int, BenchmarkRun] = {}
@@ -45,6 +51,7 @@ def context_switch_sweep(
             trace_bytes=trace_bytes,
             modeled_bytes=modeled_bytes,
             config=timed,
+            observer=Tracer() if trace else None,
         )
     return results
 
@@ -57,6 +64,7 @@ def ablation_sweep(
     modeled_bytes: int | None = None,
     config: PAPConfig = DEFAULT_CONFIG,
     toggles: tuple[str, ...] = ABLATION_TOGGLES,
+    trace: bool = False,
 ) -> dict[str, BenchmarkRun]:
     """Each optimization disabled in isolation, plus the full config.
 
@@ -69,6 +77,7 @@ def ablation_sweep(
             trace_bytes=trace_bytes,
             modeled_bytes=modeled_bytes,
             config=config,
+            observer=Tracer() if trace else None,
         )
     }
     for toggle in toggles:
@@ -79,6 +88,7 @@ def ablation_sweep(
             trace_bytes=trace_bytes,
             modeled_bytes=modeled_bytes,
             config=ablated,
+            observer=Tracer() if trace else None,
         )
     return results
 
@@ -91,6 +101,7 @@ def tdm_slice_sweep(
     trace_bytes: int = 65_536,
     modeled_bytes: int | None = None,
     config: PAPConfig = DEFAULT_CONFIG,
+    trace: bool = False,
 ) -> dict[int, BenchmarkRun]:
     """Speedup vs. TDM slice size ``k`` (a design-space knob the paper
     fixes implicitly; exposed here as an extension study)."""
@@ -103,5 +114,6 @@ def tdm_slice_sweep(
             trace_bytes=trace_bytes,
             modeled_bytes=modeled_bytes,
             config=sized,
+            observer=Tracer() if trace else None,
         )
     return results

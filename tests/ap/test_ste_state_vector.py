@@ -127,3 +127,53 @@ class TestStateVectorCache:
         assert not cache.compare(0, 2)
         assert cache.is_zero(2)
         assert cache.comparisons == 3
+
+    def test_hit_and_miss_counters(self):
+        cache = StateVectorCache(capacity=4)
+        cache.save(0, StateVector(active=frozenset({1})))
+        cache.restore(0)
+        cache.restore(0)
+        with pytest.raises(CapacityError):
+            cache.restore(9)
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_peak_occupancy_survives_invalidation(self):
+        cache = StateVectorCache(capacity=4)
+        for slot in range(3):
+            cache.save(slot, StateVector(active=frozenset()))
+        cache.invalidate(0)
+        cache.invalidate(1)
+        assert cache.occupied() == 1
+        assert cache.peak_occupancy == 3
+
+    def test_invalidations_count_actual_removals(self):
+        cache = StateVectorCache(capacity=2)
+        cache.save(0, StateVector(active=frozenset()))
+        cache.invalidate(0)
+        cache.invalidate(0)  # slot already gone: not counted
+        cache.invalidate(7)  # never present: not counted
+        assert cache.invalidations == 1
+
+    def test_stats_snapshot(self):
+        cache = StateVectorCache(capacity=8)
+        cache.save(0, StateVector(active=frozenset({1})))
+        cache.save(1, StateVector(active=frozenset({1})))
+        cache.restore(0)
+        cache.compare(0, 1)
+        cache.invalidate(1)
+        stats = cache.stats()
+        assert stats == {
+            "capacity": 8,
+            "occupied": 1,
+            "peak_occupancy": 2,
+            "saves": 2,
+            "restores": 1,
+            "hits": 1,
+            "misses": 0,
+            "invalidations": 1,
+            "comparisons": 1,
+        }
+        import json
+
+        json.dumps(stats)  # plain data, embeds in PAPRunResult.extra

@@ -95,3 +95,65 @@ class TestRunMetrics:
         assert result.event_amplification == 1.0
         assert result.transitions_per_symbol() == 0.0
         assert not result.golden_fallback
+
+
+class TestEventAmplificationEdgeCases:
+    """Pin the zero-true-events branches of ``event_amplification``."""
+
+    @staticmethod
+    def synthetic_result(*, raw_events: int, true_events: int):
+        from repro.core.composition import ComposedSegment
+        from repro.core.merging import FlowReductionStats
+        from repro.core.metrics import PAPRunResult
+        from repro.core.partitioning import InputSegment
+        from repro.core.scheduler import (
+            SegmentMetrics,
+            SegmentPlan,
+            SegmentResult,
+        )
+
+        plan = SegmentPlan(
+            segment=InputSegment(index=0, start=0, end=0, boundary_symbol=None),
+            flows=(),
+            stats=FlowReductionStats(0, 0, 0, 0),
+            asg_initial=frozenset(),
+            is_golden=True,
+        )
+        result = SegmentResult(
+            plan=plan,
+            events=[],
+            unit_history={},
+            final_currents={},
+            asg_final=frozenset(),
+            metrics=SegmentMetrics(raw_events=raw_events),
+        )
+        composed = ComposedSegment(
+            true_reports=frozenset(),
+            final_matched=frozenset(),
+            true_events=true_events,
+            raw_events=raw_events,
+        )
+        return PAPRunResult(
+            reports=frozenset(),
+            plans=(plan,),
+            segment_results=(result,),
+            composed=(composed,),
+            partition_choice=None,
+            truth_times=(0,),
+            tcpu_cycles=(0,),
+            enumeration_cycles=0,
+            golden_cycles=0,
+            svc_overflow=False,
+        )
+
+    def test_both_zero_is_no_amplification(self):
+        result = self.synthetic_result(raw_events=0, true_events=0)
+        assert result.event_amplification == 1.0
+
+    def test_raw_without_true_reports_raw_count(self):
+        result = self.synthetic_result(raw_events=5, true_events=0)
+        assert result.event_amplification == 5.0
+
+    def test_ordinary_ratio(self):
+        result = self.synthetic_result(raw_events=6, true_events=3)
+        assert result.event_amplification == 2.0

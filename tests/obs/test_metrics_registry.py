@@ -1,0 +1,99 @@
+"""Tests for the counter/gauge/histogram metrics registry."""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("flows.deactivated")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_identity_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2
+        assert registry.counter("b").value == 0
+
+    def test_gauge_tracks_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("svc.occupied")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.max_value == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("finish_cycles")
+        for value in (1, 2, 5, 100):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 108
+        assert histogram.mean == 27.0
+        assert histogram.min_value == 1
+        assert histogram.max_value == 100
+        # Power-of-two buckets: 1 -> e0, 2 -> e1, 5 -> e3, 100 -> e7.
+        assert histogram.buckets == {0: 1, 1: 1, 3: 1, 7: 1}
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(10)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"type": "counter", "value": 3}
+        assert snapshot["g"]["value"] == 1.5
+        assert snapshot["h"]["count"] == 1
+        json.dumps(snapshot)  # must serialize
+
+    def test_empty_histogram_snapshot_has_null_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        snapshot = registry.snapshot()
+        assert snapshot["h"]["min"] is None
+        assert snapshot["h"]["max"] is None
+
+    def test_len_counts_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(registry) == 3
+
+
+class TestNullRegistry:
+    def test_hands_out_shared_noops(self):
+        assert NULL_REGISTRY.counter("x") is NULL_COUNTER
+        assert NULL_REGISTRY.gauge("x") is NULL_GAUGE
+        assert NULL_REGISTRY.histogram("x") is NULL_HISTOGRAM
+
+    def test_noop_instruments_record_nothing(self):
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(42)
+        NULL_HISTOGRAM.observe(7)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_null_registry_stays_empty(self):
+        registry = NullMetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+        assert not registry.enabled

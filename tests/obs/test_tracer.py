@@ -1,0 +1,193 @@
+"""Tests for the dual-domain tracer and the null observer.
+
+Covers the ISSUE's tracer checklist: span nesting, cycle- vs
+wall-clock domains, and the disabled (null) observer recording nothing
+while adding <5% overhead on a small ``run_benchmark``.
+"""
+
+import itertools
+import time
+
+from repro.obs.tracer import (
+    COUNTER,
+    CountingObserver,
+    INSTANT,
+    NULL_OBSERVER,
+    Observer,
+    SPAN,
+    Tracer,
+)
+from repro.sim.runner import run_benchmark
+from repro.workloads.suite import build_benchmark
+
+
+def fake_clock(start: int = 1_000, step: int = 10):
+    """Deterministic nanosecond clock: start, start+step, ..."""
+    counter = itertools.count(start, step)
+    return lambda: next(counter)
+
+
+class TestSpans:
+    def test_nesting_depths_are_recorded(self):
+        tracer = Tracer(clock=fake_clock())
+        outer = tracer.begin_span("outer")
+        inner = tracer.begin_span("inner")
+        innermost = tracer.begin_span("innermost")
+        tracer.end_span(innermost)
+        tracer.end_span(inner)
+        tracer.end_span(outer)
+        depths = {e.name: e.depth for e in tracer.events}
+        assert depths == {"outer": 0, "inner": 1, "innermost": 2}
+        assert tracer.open_spans() == ()
+
+    def test_nesting_is_per_track(self):
+        tracer = Tracer(clock=fake_clock())
+        a = tracer.begin_span("a", track="seg0")
+        b = tracer.begin_span("b", track="seg1")
+        assert tracer.events[a].depth == 0
+        assert tracer.events[b].depth == 0
+        tracer.end_span(b)
+        tracer.end_span(a)
+
+    def test_span_context_manager(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("work", args={"n": 3}):
+            with tracer.span("sub"):
+                pass
+        assert [e.depth for e in tracer.events] == [0, 1]
+        assert all(e.wall_end_ns is not None for e in tracer.events)
+
+    def test_unbalanced_end_is_tolerated(self):
+        tracer = Tracer(clock=fake_clock())
+        handle = tracer.begin_span("a")
+        tracer.end_span(handle)
+        tracer.end_span(handle)  # double close: no-op
+        tracer.end_span(99)  # unknown handle: no-op
+        tracer.end_span(-1)  # null handle: no-op
+        assert len(tracer.events) == 1
+
+    def test_wall_clock_comes_from_injected_clock(self):
+        tracer = Tracer(clock=fake_clock(start=500, step=7))
+        handle = tracer.begin_span("a")
+        tracer.end_span(handle)
+        event = tracer.events[0]
+        assert event.wall_start_ns == 500
+        assert event.wall_end_ns == 507
+        assert event.wall_duration_ns == 7
+
+    def test_open_spans_reports_unclosed(self):
+        tracer = Tracer(clock=fake_clock())
+        handle = tracer.begin_span("dangling")
+        assert tracer.open_spans() == (handle,)
+
+
+class TestDomains:
+    def test_span_records_both_domains(self):
+        tracer = Tracer(clock=fake_clock())
+        handle = tracer.begin_span("segment[1]", track="seg1", cycle=0)
+        tracer.end_span(handle, cycle=4_096)
+        event = tracer.events[0]
+        assert event.cycle_start == 0
+        assert event.cycle_end == 4_096
+        assert event.cycle_duration == 4_096
+        assert event.wall_duration_ns == 10
+
+    def test_wall_only_span_has_no_cycle_duration(self):
+        tracer = Tracer(clock=fake_clock())
+        handle = tracer.begin_span("plan")
+        tracer.end_span(handle)
+        assert tracer.events[0].cycle_duration is None
+
+    def test_complete_span_is_retroactive_cycles(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.complete_span(
+            "decode[2]", track="host", cycle_start=100, cycle_end=150
+        )
+        event = tracer.events[0]
+        assert event.cycle_duration == 50
+        assert event.wall_duration_ns == 0
+
+    def test_instants_and_counters_carry_cycles(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.instant("flow-deactivate", track="seg2", cycle=77)
+        tracer.counter("active_flows", 5, track="seg2", cycle=78)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == [INSTANT, COUNTER]
+        assert tracer.events[0].cycle_start == 77
+        assert tracer.events[1].value == 5
+
+    def test_tracks_in_first_seen_order(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.instant("a", track="run")
+        tracer.instant("b", track="seg0")
+        tracer.instant("c", track="run")
+        assert tracer.tracks() == ("run", "seg0")
+
+
+class TestNullObserver:
+    def test_disabled_and_silent(self):
+        assert not NULL_OBSERVER.enabled
+        handle = NULL_OBSERVER.begin_span("a", cycle=1)
+        NULL_OBSERVER.end_span(handle, cycle=2)
+        NULL_OBSERVER.complete_span("b", cycle_start=0, cycle_end=1)
+        NULL_OBSERVER.instant("c")
+        NULL_OBSERVER.counter("d", 1)
+        with NULL_OBSERVER.span("e"):
+            pass
+        NULL_OBSERVER.metrics.counter("f").inc()
+        assert handle == -1
+        assert len(NULL_OBSERVER.metrics) == 0
+
+    def test_base_class_is_the_null_object(self):
+        observer = Observer()
+        assert not observer.enabled
+        assert observer.begin_span("x") == -1
+
+    def test_run_with_null_observer_produces_no_events(self):
+        bench = build_benchmark("Bro217", scale=0.05, seed=0)
+        run = run_benchmark(bench, trace_bytes=2_048)
+        assert run.trace is None
+        # Nothing accumulated in the shared null registry either.
+        assert len(NULL_OBSERVER.metrics) == 0
+
+
+class TestNullOverhead:
+    def test_null_observer_overhead_under_five_percent(self):
+        """Bound the disabled-instrumentation cost of a small benchmark.
+
+        Overhead is estimated as (observer call sites exercised by the
+        run) x (measured per-call cost of a null hook), relative to the
+        run's wall time — the quantity the tentpole promises stays
+        near-zero.  Measuring two full runs and differencing them would
+        drown in scheduler noise; this decomposition is deterministic.
+        """
+        bench = build_benchmark("Bro217", scale=0.05, seed=0)
+
+        # How many observer invocations does this run make?
+        counting = CountingObserver()
+        started = time.perf_counter()
+        run_benchmark(bench, trace_bytes=4_096, observer=counting)
+        run_seconds = time.perf_counter() - started
+        assert counting.calls > 0
+
+        # Per-call cost of the null hooks (instant is the hot one).
+        null_calls = 200_000
+        started = time.perf_counter()
+        for _ in range(null_calls):
+            NULL_OBSERVER.instant("x")
+        per_call = (time.perf_counter() - started) / null_calls
+
+        overhead = (counting.calls * per_call) / run_seconds
+        assert overhead < 0.05, (
+            f"null observer overhead {overhead:.2%} "
+            f"({counting.calls} calls x {per_call * 1e9:.0f}ns "
+            f"over {run_seconds:.3f}s)"
+        )
+
+
+class TestSpanKinds:
+    def test_event_kind_constants(self):
+        tracer = Tracer(clock=fake_clock())
+        handle = tracer.begin_span("s")
+        tracer.end_span(handle)
+        assert tracer.events[0].kind == SPAN
