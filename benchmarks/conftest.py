@@ -18,7 +18,11 @@ the trace budget; their absolute speedups are flat anyway.
 
 Benchmark instances and PAP runs are cached per session so the figure
 benches share the Figure 8 measurements instead of recomputing them.
-Formatted tables are printed and written to ``benchmarks/results/``.
+Formatted tables are printed and written to ``benchmarks/results/``;
+at session end every cached run is also serialized as a
+machine-readable ``benchmarks/results/suite_runs.json`` artifact (the
+``repro.perf`` schema), so each bench session leaves a diffable
+cycle-domain record next to the human-readable tables.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.perf.artifact import BenchmarkRecord, PerfReport, run_key
 from repro.sim.runner import BenchmarkRun, run_benchmark
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
@@ -89,10 +94,42 @@ class SuiteCache:
     ) -> list[BenchmarkRun]:
         return [self.run(name, ranks, size_class) for name in names]
 
+    def perf_report(self, label: str = "pytest-bench") -> PerfReport:
+        """Every cached run as a repro.perf artifact (no wall stats —
+        these runs were shared across figures, not timed)."""
+        report = PerfReport(
+            label=label,
+            parameters={
+                "scale": SCALE,
+                "trace_1mb_class": TRACE_1MB_CLASS,
+                "trace_10mb_class": TRACE_10MB_CLASS,
+                "selected": list(SELECTED),
+            },
+        )
+        for (name, ranks, size_class), run in sorted(self._runs.items()):
+            report.add(
+                BenchmarkRecord.from_run(
+                    run, key=run_key(name, ranks, size_class)
+                )
+            )
+        return report
+
+
+_CACHE = SuiteCache()
+
 
 @pytest.fixture(scope="session")
 def suite_cache() -> SuiteCache:
-    return SuiteCache()
+    return _CACHE
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Persist the session's cached runs as a JSON artifact."""
+    if not _CACHE._runs:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = _CACHE.perf_report().write(RESULTS_DIR / "suite_runs.json")
+    print(f"\n[benchmark artifact written to {path}]")
 
 
 def publish(title: str, text: str) -> None:

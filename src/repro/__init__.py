@@ -17,7 +17,11 @@ The package implements, from scratch:
 * the experiment harness regenerating every table and figure —
   :mod:`repro.sim`;
 * a static-analysis pass ("apcheck") over automata, parallelization
-  risk, and AP capacity — :mod:`repro.lint`.
+  risk, and AP capacity — :mod:`repro.lint`;
+* observability (dual-domain tracing, metrics, Chrome trace export) —
+  :mod:`repro.obs`;
+* benchmark artifacts, baselines, and regression gating —
+  :mod:`repro.perf`.
 
 Quickstart::
 

@@ -8,6 +8,9 @@
   (``--profile``), and machine-readable output (``--format json``);
 * ``trace`` — record a run's trace to Perfetto-loadable JSON, or
   validate/summarize an existing trace file;
+* ``bench`` — benchmark artifacts and regression gating: ``run``
+  captures a ``BENCH_*.json``, ``compare`` diffs two artifacts under
+  the dual-domain tolerance policy, ``report`` renders one;
 * ``match`` — compile patterns and scan a file, sequential vs. PAP;
 * ``lint`` — static diagnostics (apcheck) for automata and deployments;
 * ``table1`` / ``fig3`` — regenerate the characterization tables;
@@ -30,7 +33,7 @@ from repro.ap.sequential import run_sequential
 from repro.automata.anml import Automaton
 from repro.automata.anml_xml import automaton_from_anml_xml
 from repro.automata.serialization import loads as automaton_loads
-from repro.errors import AutomatonError, ConfigurationError
+from repro.errors import ArtifactError, AutomatonError, ConfigurationError
 from repro.lint import (
     FAMILIES,
     LintConfig,
@@ -41,6 +44,17 @@ from repro.lint import (
     run_lint,
 )
 from repro.obs import Tracer, validate_chrome_trace
+from repro.perf import (
+    CYCLE_DOMAIN,
+    TolerancePolicy,
+    WALL_DOMAIN,
+    compare_reports,
+    load_report,
+    render_diff,
+    render_report,
+    run_bench_suite,
+    select_benchmarks,
+)
 from repro.regex.ruleset import compile_ruleset
 from repro.sim.report import format_figure3, format_table1
 from repro.sim.runner import run_benchmark
@@ -211,6 +225,73 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.profile:
         print(tracer.text_profile())
     return 0 if run.reports_match else 1
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    try:
+        names = select_benchmarks(args.benchmarks)
+    except ConfigurationError as error:
+        print(f"repro bench run: {error}", file=sys.stderr)
+        return 2
+    report = run_bench_suite(
+        names,
+        label=args.label,
+        scale=args.scale,
+        seed=args.seed,
+        ranks=args.ranks,
+        trace_bytes=args.trace_bytes,
+        modeled_bytes=PAPER_BYTES.get(args.model_input),
+        warmup=args.warmup,
+        repeats=args.repeats,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    out = args.out or f"BENCH_{args.label}.json"
+    path = report.write(out)
+    print(render_report(report, args.format))
+    print(f"[artifact written to {path}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+    except ArtifactError as error:
+        print(f"repro bench compare: {error}", file=sys.stderr)
+        return 2
+    policy = TolerancePolicy(
+        wall_rel_tolerance=args.wall_tolerance,
+        mad_factor=args.mad_factor,
+    )
+    diff = compare_reports(baseline, candidate, policy=policy)
+    print(render_diff(diff, args.format))
+    if args.fail_on == "never":
+        return 0
+    domains = (
+        (CYCLE_DOMAIN, "suite")
+        if args.fail_on == "cycles"
+        else (CYCLE_DOMAIN, WALL_DOMAIN, "suite")
+    )
+    return 1 if diff.regressions_in(domains) else 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    try:
+        report = load_report(args.artifact)
+    except ArtifactError as error:
+        print(f"repro bench report: {error}", file=sys.stderr)
+        return 2
+    print(render_report(report, args.format))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_bench_run,
+        "compare": _cmd_bench_compare,
+        "report": _cmd_bench_report,
+    }
+    return handlers[args.bench_command](args)
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
@@ -442,6 +523,92 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--trace-bytes", type=int, default=65_536)
     _add_common(trace_parser)
 
+    bench_parser = commands.add_parser(
+        "bench",
+        help="benchmark artifacts and regression gating (repro.perf)",
+        description=(
+            "Capture machine-readable BENCH_*.json benchmark artifacts, "
+            "diff them under the dual-domain tolerance policy "
+            "(cycle metrics exact, wall-clock statistical), and render "
+            "reports. Exit codes: 0 clean, 1 regressions, 2 usage."
+        ),
+    )
+    bench_commands = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run benchmarks and write a BENCH_*.json artifact"
+    )
+    bench_run.add_argument(
+        "--benchmarks",
+        default="",
+        help=(
+            "comma-separated subset (default: $REPRO_BENCH_ONLY, "
+            "else the full suite)"
+        ),
+    )
+    bench_run.add_argument("--ranks", type=int, default=1, choices=(1, 2, 4))
+    bench_run.add_argument("--trace-bytes", type=int, default=65_536)
+    bench_run.add_argument(
+        "--model-input",
+        choices=("1MB", "10MB"),
+        default="1MB",
+        help="paper input size the trace stands in for",
+    )
+    bench_run.add_argument(
+        "--warmup", type=int, default=1, help="unrecorded warmup passes"
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=3, help="recorded wall-clock passes"
+    )
+    bench_run.add_argument("--label", default="local")
+    bench_run.add_argument(
+        "-o", "--out", help="artifact path (default BENCH_<label>.json)"
+    )
+    bench_run.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text"
+    )
+    _add_common(bench_run)
+
+    bench_compare = bench_commands.add_parser(
+        "compare", help="diff two artifacts; exit 1 on regressions"
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.10,
+        help="relative wall-clock threshold over median±MAD (default 0.10)",
+    )
+    bench_compare.add_argument(
+        "--mad-factor",
+        type=float,
+        default=3.0,
+        help="MAD multiples added to the wall-clock noise band",
+    )
+    bench_compare.add_argument(
+        "--fail-on",
+        choices=("any", "cycles", "never"),
+        default="any",
+        help=(
+            "which regression domains exit 1 (CI uses 'cycles' so "
+            "cross-machine wall noise never gates)"
+        ),
+    )
+    bench_compare.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text"
+    )
+
+    bench_report = bench_commands.add_parser(
+        "report", help="render one artifact"
+    )
+    bench_report.add_argument("artifact", help="a BENCH_*.json file")
+    bench_report.add_argument(
+        "--format", choices=("text", "markdown", "json"), default="text"
+    )
+
     match_parser = commands.add_parser(
         "match", help="scan a file with regex patterns"
     )
@@ -531,6 +698,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
     "match": _cmd_match,
     "lint": _cmd_lint,
     "table1": _cmd_table1,

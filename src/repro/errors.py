@@ -63,5 +63,10 @@ class ExecutionError(ReproError):
     """Runtime failure of the functional automata executor."""
 
 
+class ArtifactError(ReproError):
+    """A benchmark artifact (``BENCH_*.json``) is missing, malformed,
+    or carries an unsupported schema version."""
+
+
 class CompositionError(ReproError):
     """Segment results could not be composed into a final answer."""

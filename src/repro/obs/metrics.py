@@ -106,17 +106,22 @@ class MetricsRegistry:
         return instrument
 
     def snapshot(self) -> dict[str, dict]:
-        """Plain-data view of every instrument (JSON-serializable)."""
+        """Plain-data view of every instrument (JSON-serializable).
+
+        Keys are globally sorted — not per-type — so serialized
+        snapshots diff cleanly across runs regardless of instrument
+        creation order.
+        """
         out: dict[str, dict] = {}
-        for name, counter in sorted(self._counters.items()):
+        for name, counter in self._counters.items():
             out[name] = {"type": "counter", "value": counter.value}
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in self._gauges.items():
             out[name] = {
                 "type": "gauge",
                 "value": gauge.value,
                 "max": gauge.max_value,
             }
-        for name, histogram in sorted(self._histograms.items()):
+        for name, histogram in self._histograms.items():
             out[name] = {
                 "type": "histogram",
                 "count": histogram.count,
@@ -125,7 +130,7 @@ class MetricsRegistry:
                 "min": histogram.min_value if histogram.count else None,
                 "max": histogram.max_value if histogram.count else None,
             }
-        return out
+        return dict(sorted(out.items()))
 
     def __len__(self) -> int:
         return (

@@ -1,0 +1,76 @@
+"""repro.perf — benchmark artifacts, baselines, and regression gating.
+
+The performance-tracking spine of the repo: every benchmark run can be
+captured as a versioned ``BENCH_*.json`` artifact
+(:mod:`repro.perf.artifact`), timed with warmup/repeats and summarized
+as median/MAD (:mod:`repro.perf.measure`), diffed against a committed
+baseline under a dual-domain tolerance policy — cycle metrics exact,
+wall-clock statistical — (:mod:`repro.perf.compare`), and rendered as
+text, markdown, or JSON (:mod:`repro.perf.render`).  The ``repro bench
+run/compare/report`` CLI family and CI's perf gate are thin wrappers
+over these pieces::
+
+    from repro.perf import compare_reports, load_report
+
+    diff = compare_reports(load_report("benchmarks/baselines/smoke.json"),
+                           load_report("BENCH_ci.json"))
+    assert diff.clean, diff.regressions
+"""
+
+from repro.perf.artifact import (
+    CYCLE_DOMAIN,
+    SCHEMA_VERSION,
+    WALL_DOMAIN,
+    BenchmarkRecord,
+    PerfReport,
+    load_report,
+    report_from_runs,
+    run_key,
+)
+from repro.perf.bench import (
+    HEAVY_TRACE_DIVISOR,
+    run_bench_suite,
+    select_benchmarks,
+)
+from repro.perf.compare import (
+    ChangeKind,
+    MetricChange,
+    PerfDiff,
+    TolerancePolicy,
+    compare_reports,
+)
+from repro.perf.measure import (
+    WallClockStats,
+    measure_wall,
+    summarize_samples,
+)
+from repro.perf.render import (
+    FORMATS,
+    render_diff,
+    render_report,
+)
+
+__all__ = [
+    "BenchmarkRecord",
+    "CYCLE_DOMAIN",
+    "ChangeKind",
+    "FORMATS",
+    "HEAVY_TRACE_DIVISOR",
+    "MetricChange",
+    "PerfDiff",
+    "PerfReport",
+    "SCHEMA_VERSION",
+    "TolerancePolicy",
+    "WALL_DOMAIN",
+    "WallClockStats",
+    "compare_reports",
+    "load_report",
+    "measure_wall",
+    "render_diff",
+    "render_report",
+    "report_from_runs",
+    "run_bench_suite",
+    "run_key",
+    "select_benchmarks",
+    "summarize_samples",
+]

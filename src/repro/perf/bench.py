@@ -1,0 +1,101 @@
+"""Suite driver behind ``repro bench run``.
+
+Runs a selection of the evaluation benchmarks end to end, times each
+with warmup + repeats, and packages everything as a
+:class:`~repro.perf.artifact.PerfReport`.  Mirrors the conventions of
+``benchmarks/conftest.py``: trace budgets shrink for the heavy
+functional-simulation workloads, and the ``REPRO_BENCH_ONLY``
+environment knob restricts the suite (that is how CI's perf gate picks
+its smoke subset).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.perf.artifact import BenchmarkRecord, PerfReport
+from repro.perf.measure import measure_wall
+from repro.sim.runner import run_benchmark
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+# Dense active sets make functional simulation slow; shrink their trace
+# budget the same way benchmarks/conftest.py does (speedups are flat in
+# trace size for these).
+HEAVY_TRACE_DIVISOR = {"Fermi": 4}
+
+
+def select_benchmarks(spec: str | None = None) -> tuple[str, ...]:
+    """Resolve the benchmark selection for one bench run.
+
+    Precedence: an explicit comma-separated ``spec``, then the
+    ``REPRO_BENCH_ONLY`` environment variable, then the full suite.
+    Unknown names raise :class:`ConfigurationError`.
+    """
+    raw = spec if spec else os.environ.get("REPRO_BENCH_ONLY", "")
+    if not raw:
+        return BENCHMARK_NAMES
+    names = tuple(name for name in raw.split(",") if name)
+    unknown = [name for name in names if name not in BENCHMARK_NAMES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown benchmark(s) {', '.join(sorted(unknown))} "
+            f"(see `repro list`)"
+        )
+    return names
+
+
+def run_bench_suite(
+    names: tuple[str, ...] = BENCHMARK_NAMES,
+    *,
+    label: str = "local",
+    scale: float = 0.1,
+    seed: int = 0,
+    ranks: int = 1,
+    trace_bytes: int = 65_536,
+    modeled_bytes: int | None = None,
+    warmup: int = 1,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> PerfReport:
+    """Run ``names`` and return the artifact-ready report."""
+    report = PerfReport(
+        label=label,
+        parameters={
+            "scale": scale,
+            "seed": seed,
+            "ranks": ranks,
+            "trace_bytes": trace_bytes,
+            "modeled_bytes": modeled_bytes,
+            "warmup": warmup,
+            "repeats": repeats,
+            "benchmarks": list(names),
+        },
+    )
+    for name in names:
+        divisor = HEAVY_TRACE_DIVISOR.get(name, 1)
+        bench = build_benchmark(name, scale=scale, seed=seed)
+        run, wall = measure_wall(
+            lambda: run_benchmark(
+                bench,
+                ranks=ranks,
+                trace_bytes=trace_bytes // divisor,
+                modeled_bytes=(
+                    modeled_bytes // divisor
+                    if modeled_bytes is not None
+                    else None
+                ),
+                trace_seed=seed + 1,
+            ),
+            warmup=warmup,
+            repeats=repeats,
+        )
+        report.add(BenchmarkRecord.from_run(run, wall=wall))
+        if progress is not None:
+            progress(
+                f"{run.name}: speedup {run.speedup:.2f}x, "
+                f"wall {wall.median_s * 1e3:.1f}ms"
+                f"±{wall.mad_s * 1e3:.1f}ms"
+            )
+    return report

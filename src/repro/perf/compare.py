@@ -1,0 +1,264 @@
+"""Comparison engine: dual-domain diff of two benchmark artifacts.
+
+The two measurement domains get different tolerance policies:
+
+* **cycles** — the simulator is deterministic, so every cycle-domain
+  metric must match its baseline bit-for-bit.  Any drift means the
+  *model* changed (a fidelity regression, or a deliberate change that
+  must re-baseline) and is always reported as a regression, even when
+  the number moved in the "good" direction.
+* **wall** — host timings are noisy, so medians are compared under a
+  configurable relative threshold widened by both runs' MADs.  Moves
+  beyond the band are regressions or improvements by direction.
+
+The diff is typed (:class:`ChangeKind`) so renderers and the CI gate
+can filter: ``repro bench compare --fail-on cycles`` ignores wall-clock
+noise across machines while still failing on fidelity drift.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.perf.artifact import (
+    CYCLE_DOMAIN,
+    WALL_DOMAIN,
+    BenchmarkRecord,
+    PerfReport,
+)
+from repro.perf.measure import WallClockStats
+
+
+class ChangeKind(enum.Enum):
+    REGRESSION = "regression"
+    IMPROVEMENT = "improvement"
+    NEW = "new"
+    REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class MetricChange:
+    """One observed difference between baseline and candidate."""
+
+    benchmark: str
+    metric: str | None
+    domain: str
+    kind: ChangeKind
+    baseline: object = None
+    candidate: object = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = self.benchmark
+        if self.metric:
+            where = f"{where} {self.domain}.{self.metric}"
+        tail = f" ({self.detail})" if self.detail else ""
+        if self.kind in (ChangeKind.NEW, ChangeKind.REMOVED):
+            return f"[{self.kind.value.upper()}] {where}{tail}"
+        return (
+            f"[{self.kind.value.upper()}] {where}: "
+            f"{self.baseline} -> {self.candidate}{tail}"
+        )
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Wall-clock noise model: a median move counts only when it
+    clears ``rel_tolerance * baseline_median`` *plus* ``mad_factor``
+    times the combined MADs of the two runs."""
+
+    wall_rel_tolerance: float = 0.10
+    mad_factor: float = 3.0
+
+    def classify_wall(
+        self, base: WallClockStats, cand: WallClockStats
+    ) -> ChangeKind | None:
+        delta = cand.median_s - base.median_s
+        allowance = self.wall_rel_tolerance * base.median_s
+        noise = self.mad_factor * (base.mad_s + cand.mad_s)
+        if delta > allowance + noise:
+            return ChangeKind.REGRESSION
+        if -delta > allowance + noise:
+            return ChangeKind.IMPROVEMENT
+        return None
+
+
+@dataclass
+class PerfDiff:
+    """Typed result of comparing two :class:`PerfReport` artifacts."""
+
+    baseline_label: str
+    candidate_label: str
+    changes: list[MetricChange] = field(default_factory=list)
+
+    def of_kind(self, kind: ChangeKind) -> list[MetricChange]:
+        return [c for c in self.changes if c.kind is kind]
+
+    @property
+    def regressions(self) -> list[MetricChange]:
+        return self.of_kind(ChangeKind.REGRESSION)
+
+    @property
+    def improvements(self) -> list[MetricChange]:
+        return self.of_kind(ChangeKind.IMPROVEMENT)
+
+    @property
+    def added(self) -> list[MetricChange]:
+        return self.of_kind(ChangeKind.NEW)
+
+    @property
+    def removed(self) -> list[MetricChange]:
+        return self.of_kind(ChangeKind.REMOVED)
+
+    def regressions_in(self, domains: tuple[str, ...]) -> list[MetricChange]:
+        return [r for r in self.regressions if r.domain in domains]
+
+    @property
+    def clean(self) -> bool:
+        """No changes at all — the all-green outcome."""
+        return not self.changes
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_label,
+            "candidate": self.candidate_label,
+            "clean": self.clean,
+            "counts": {
+                kind.value: len(self.of_kind(kind)) for kind in ChangeKind
+            },
+            "changes": [
+                {
+                    "benchmark": c.benchmark,
+                    "metric": c.metric,
+                    "domain": c.domain,
+                    "kind": c.kind.value,
+                    "baseline": c.baseline,
+                    "candidate": c.candidate,
+                    "detail": c.detail,
+                }
+                for c in self.changes
+            ],
+        }
+
+
+def _relative(base: object, cand: object) -> str:
+    if isinstance(base, (int, float)) and isinstance(cand, (int, float)) \
+            and not isinstance(base, bool) and not isinstance(cand, bool):
+        if base:
+            return f"{(cand - base) / base:+.2%}"
+        return "baseline was 0"
+    return ""
+
+
+def _compare_cycles(
+    diff: PerfDiff, base: BenchmarkRecord, cand: BenchmarkRecord
+) -> None:
+    for metric in sorted(set(base.cycles) | set(cand.cycles)):
+        if metric not in cand.cycles:
+            diff.changes.append(
+                MetricChange(
+                    benchmark=base.key,
+                    metric=metric,
+                    domain=CYCLE_DOMAIN,
+                    kind=ChangeKind.REMOVED,
+                    baseline=base.cycles[metric],
+                    detail="metric absent from candidate",
+                )
+            )
+            continue
+        if metric not in base.cycles:
+            diff.changes.append(
+                MetricChange(
+                    benchmark=base.key,
+                    metric=metric,
+                    domain=CYCLE_DOMAIN,
+                    kind=ChangeKind.NEW,
+                    candidate=cand.cycles[metric],
+                    detail="metric absent from baseline",
+                )
+            )
+            continue
+        before, after = base.cycles[metric], cand.cycles[metric]
+        if before != after:
+            diff.changes.append(
+                MetricChange(
+                    benchmark=base.key,
+                    metric=metric,
+                    domain=CYCLE_DOMAIN,
+                    kind=ChangeKind.REGRESSION,
+                    baseline=before,
+                    candidate=after,
+                    detail=_relative(before, after) or "cycle-domain drift",
+                )
+            )
+
+
+def _compare_wall(
+    diff: PerfDiff,
+    base: BenchmarkRecord,
+    cand: BenchmarkRecord,
+    policy: TolerancePolicy,
+) -> None:
+    if base.wall is None or cand.wall is None:
+        return
+    kind = policy.classify_wall(base.wall, cand.wall)
+    if kind is None:
+        return
+    diff.changes.append(
+        MetricChange(
+            benchmark=base.key,
+            metric="median_s",
+            domain=WALL_DOMAIN,
+            kind=kind,
+            baseline=base.wall.median_s,
+            candidate=cand.wall.median_s,
+            detail=(
+                f"{_relative(base.wall.median_s, cand.wall.median_s)} "
+                f"vs ±({policy.wall_rel_tolerance:.0%} "
+                f"+ {policy.mad_factor:g}·MAD)"
+            ).strip(),
+        )
+    )
+
+
+def compare_reports(
+    baseline: PerfReport,
+    candidate: PerfReport,
+    *,
+    policy: TolerancePolicy | None = None,
+) -> PerfDiff:
+    """Diff two artifacts benchmark-by-benchmark, metric-by-metric."""
+    policy = policy or TolerancePolicy()
+    diff = PerfDiff(
+        baseline_label=baseline.label, candidate_label=candidate.label
+    )
+    keys = sorted(set(baseline.benchmarks) | set(candidate.benchmarks))
+    for key in keys:
+        base = baseline.benchmarks.get(key)
+        cand = candidate.benchmarks.get(key)
+        if cand is None:
+            diff.changes.append(
+                MetricChange(
+                    benchmark=key,
+                    metric=None,
+                    domain="suite",
+                    kind=ChangeKind.REMOVED,
+                    detail="benchmark absent from candidate",
+                )
+            )
+            continue
+        if base is None:
+            diff.changes.append(
+                MetricChange(
+                    benchmark=key,
+                    metric=None,
+                    domain="suite",
+                    kind=ChangeKind.NEW,
+                    detail="benchmark absent from baseline",
+                )
+            )
+            continue
+        _compare_cycles(diff, base, cand)
+        _compare_wall(diff, base, cand, policy)
+    return diff

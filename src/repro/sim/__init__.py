@@ -16,6 +16,7 @@ from repro.sim.sweep import (
     ABLATION_TOGGLES,
     ablation_sweep,
     context_switch_sweep,
+    sweep_report,
     tdm_slice_sweep,
 )
 
@@ -37,5 +38,6 @@ __all__ = [
     "format_table1",
     "geometric_mean",
     "run_benchmark",
+    "sweep_report",
     "tdm_slice_sweep",
 ]

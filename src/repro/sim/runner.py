@@ -53,6 +53,57 @@ class BenchmarkRun:
             return 1.0
         return self.pap.transitions / self.baseline.transitions
 
+    def to_dict(self) -> dict:
+        """Plain-data view of the run for ``BENCH_*.json`` artifacts.
+
+        Everything here lives in the symbol-cycle domain: given the same
+        benchmark, configuration, and seeds, every value is bit-exact
+        across runs and machines, so :mod:`repro.perf` compares them
+        exactly — any drift is a fidelity regression, not noise.
+        """
+        pap = self.pap
+        svc = pap.extra.get("svc", {})
+        return {
+            "name": self.name,
+            "ranks": self.ranks,
+            "trace_bytes": self.trace_bytes,
+            "cycles": {
+                "baseline_cycles": self.baseline.total_cycles,
+                "baseline_symbol_cycles": self.baseline.symbol_cycles,
+                "baseline_host_cycles": self.baseline.host_cycles,
+                "baseline_transitions": self.baseline.transitions,
+                "pap_cycles": pap.total_cycles,
+                "enumeration_cycles": pap.enumeration_cycles,
+                "golden_cycles": pap.golden_cycles,
+                "golden_fallback": pap.golden_fallback,
+                "segments": pap.num_segments,
+                "speedup": self.speedup,
+                "ideal_speedup": self.ideal_speedup,
+                "avg_active_flows": pap.average_active_flows,
+                "switching_overhead": pap.switching_overhead,
+                "average_tcpu": pap.average_tcpu,
+                "deactivations": pap.deactivations,
+                "convergence_merges": pap.convergence_merges,
+                "fiv_invalidations": pap.fiv_invalidations,
+                "transitions": pap.transitions,
+                "extra_transitions_per_symbol": (
+                    self.extra_transitions_per_symbol
+                ),
+                "reports": len(pap.reports),
+                "raw_events": pap.raw_events,
+                "true_events": pap.true_events,
+                "event_amplification": pap.event_amplification,
+                "reports_match": self.reports_match,
+                "svc_overflow": pap.svc_overflow,
+                "svc_hits": svc.get("hits", 0),
+                "svc_misses": svc.get("misses", 0),
+                "svc_saves": svc.get("saves", 0),
+                "svc_restores": svc.get("restores", 0),
+                "svc_invalidations": svc.get("invalidations", 0),
+                "svc_peak_occupancy": svc.get("peak_occupancy", 0),
+            },
+        }
+
 
 def run_benchmark(
     benchmark: BenchmarkInstance,
@@ -114,9 +165,14 @@ def run_benchmark(
 
 
 def geometric_mean(values: list[float]) -> float:
-    """Geomean as the paper aggregates speedups."""
+    """Geomean as the paper aggregates speedups.
+
+    An empty input is an error, not ``0.0``: a silent zero geomean
+    would read as "infinitely slow" in any baseline comparison and
+    poison the perf trajectory.
+    """
     if not values:
-        return 0.0
+        raise ValueError("geometric_mean of an empty sequence is undefined")
     product = 1.0
     for value in values:
         product *= max(value, 1e-12)

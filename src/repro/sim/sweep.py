@@ -28,6 +28,28 @@ ABLATION_TOGGLES: tuple[str, ...] = (
 )
 
 
+def sweep_report(
+    results: dict[object, BenchmarkRun],
+    *,
+    label: str,
+    parameters: dict | None = None,
+):
+    """Serialization hook: package any sweep's results as a
+    :class:`repro.perf.PerfReport` ready for ``BENCH_*.json``.
+
+    Keys become record keys (``"full"``, ``"no-fiv"``, slice sizes...).
+    Imported lazily so :mod:`repro.sim` stays importable without
+    :mod:`repro.perf` in the dependency chain at module load.
+    """
+    from repro.perf.artifact import report_from_runs
+
+    return report_from_runs(
+        {str(key): run for key, run in results.items()},
+        label=label,
+        parameters=parameters,
+    )
+
+
 def context_switch_sweep(
     benchmark: BenchmarkInstance,
     *,

@@ -68,6 +68,32 @@ class TestSnapshot:
         assert snapshot["h"]["min"] is None
         assert snapshot["h"]["max"] is None
 
+    def test_snapshot_keys_globally_sorted(self):
+        # Interleave types and creation orders: serialized snapshots
+        # must diff cleanly across runs, so ordering is by name alone.
+        registry = MetricsRegistry()
+        registry.histogram("zz.hist").observe(1)
+        registry.counter("mm.count").inc()
+        registry.gauge("aa.gauge").set(2.0)
+        registry.counter("bb.count").inc()
+        assert list(registry.snapshot()) == [
+            "aa.gauge",
+            "bb.count",
+            "mm.count",
+            "zz.hist",
+        ]
+
+    def test_snapshot_order_independent_of_creation_order(self):
+        import json
+
+        first = MetricsRegistry()
+        first.counter("a").inc()
+        first.gauge("b").set(1.0)
+        second = MetricsRegistry()
+        second.gauge("b").set(1.0)
+        second.counter("a").inc()
+        assert json.dumps(first.snapshot()) == json.dumps(second.snapshot())
+
     def test_len_counts_all_instruments(self):
         registry = MetricsRegistry()
         registry.counter("a")

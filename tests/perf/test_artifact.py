@@ -1,0 +1,145 @@
+"""Tests for the BENCH_*.json artifact schema and (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.perf.artifact import (
+    SCHEMA_VERSION,
+    BenchmarkRecord,
+    PerfReport,
+    load_report,
+    report_from_runs,
+    run_key,
+)
+from repro.perf.measure import WallClockStats
+from repro.sim.runner import run_benchmark
+from repro.workloads.suite import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def run():
+    bench = build_benchmark("Bro217", scale=0.05, seed=0)
+    return run_benchmark(bench, ranks=1, trace_bytes=4_096)
+
+
+def make_record(key="Synth@r1", **cycles) -> BenchmarkRecord:
+    base = {"pap_cycles": 100, "baseline_cycles": 400, "speedup": 4.0}
+    base.update(cycles)
+    return BenchmarkRecord(
+        key=key,
+        name=key.split("@")[0],
+        ranks=1,
+        trace_bytes=4_096,
+        cycles=base,
+    )
+
+
+class TestRecord:
+    def test_from_run_lifts_cycle_metrics(self, run):
+        record = BenchmarkRecord.from_run(run)
+        assert record.key == "Bro217@r1"
+        assert record.cycles["pap_cycles"] == run.pap.total_cycles
+        assert record.cycles["baseline_cycles"] == run.baseline.total_cycles
+        assert record.speedup == run.speedup
+        assert record.wall is None
+
+    def test_run_key_with_suffix(self):
+        assert run_key("Snort", 4) == "Snort@r4"
+        assert run_key("Snort", 4, "10MB") == "Snort@r4/10MB"
+
+    def test_round_trip(self, run):
+        wall = WallClockStats(0.5, 0.01, repeats=3, warmup=1)
+        record = BenchmarkRecord.from_run(run, wall=wall)
+        again = BenchmarkRecord.from_dict(record.key, record.to_dict())
+        assert again == record
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(ArtifactError, match="malformed"):
+            BenchmarkRecord.from_dict("x", {"name": "x"})
+
+
+class TestPerfReport:
+    def test_write_and_load(self, run, tmp_path):
+        report = PerfReport(label="unit")
+        report.add(BenchmarkRecord.from_run(run))
+        path = report.write(tmp_path / "BENCH_unit.json")
+        loaded = load_report(path)
+        assert loaded.label == "unit"
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.benchmarks.keys() == report.benchmarks.keys()
+        assert (
+            loaded.benchmarks["Bro217@r1"].cycles
+            == report.benchmarks["Bro217@r1"].cycles
+        )
+
+    def test_serialized_keys_are_sorted(self, tmp_path):
+        report = PerfReport(label="order")
+        report.add(make_record("Zeta@r1"))
+        report.add(make_record("Alpha@r1"))
+        payload = json.loads(
+            report.write(tmp_path / "b.json").read_text()
+        )
+        assert list(payload["benchmarks"]) == ["Alpha@r1", "Zeta@r1"]
+        cycles = payload["benchmarks"]["Alpha@r1"]["cycles"]
+        assert list(cycles) == sorted(cycles)
+
+    def test_geomean_speedup(self):
+        report = PerfReport(label="g")
+        report.add(make_record("A@r1", speedup=2.0))
+        report.add(make_record("B@r1", speedup=8.0))
+        assert report.geomean_speedup == pytest.approx(4.0)
+
+    def test_geomean_none_when_empty(self):
+        assert PerfReport(label="empty").geomean_speedup is None
+
+    def test_unsupported_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {"schema_version": 999, "label": "x", "benchmarks": {}}
+            )
+        )
+        with pytest.raises(ArtifactError, match="schema_version"):
+            load_report(path)
+
+    def test_non_object_benchmarks_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(
+            json.dumps(
+                {"schema_version": 1, "label": "x", "benchmarks": []}
+            )
+        )
+        with pytest.raises(ArtifactError, match="must be an object"):
+            load_report(path)
+
+    def test_missing_file_raises_artifact_error(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_report(tmp_path / "absent.json")
+
+    def test_invalid_json_raises_artifact_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_report(path)
+
+    def test_report_from_runs_uses_given_keys(self, run):
+        report = report_from_runs(
+            {"full": run, "no-fiv": run}, label="sweep"
+        )
+        assert set(report.benchmarks) == {"full", "no-fiv"}
+
+
+class TestSweepHook:
+    def test_sweep_report_serializes(self, tmp_path):
+        from repro.sim.sweep import sweep_report, tdm_slice_sweep
+
+        bench = build_benchmark("Bro217", scale=0.05, seed=0)
+        sweep = tdm_slice_sweep(
+            bench, slice_sizes=(64, 128), trace_bytes=2_048
+        )
+        report = sweep_report(sweep, label="tdm")
+        assert set(report.benchmarks) == {"64", "128"}
+        loaded = load_report(report.write(tmp_path / "sweep.json"))
+        assert set(loaded.benchmarks) == {"64", "128"}

@@ -1,0 +1,213 @@
+"""Tests for the `repro bench run/compare/report` CLI family.
+
+Covers the acceptance flow: `bench run --out BENCH_x.json` then
+self-compare exits 0 all-clean; perturbing any cycle-domain metric
+makes `compare` exit 1 and name the metric; usage errors exit 2.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """One real (tiny) bench run captured as an artifact."""
+    path = tmp_path_factory.mktemp("bench") / "BENCH_x.json"
+    code = main(
+        [
+            "bench",
+            "run",
+            "--benchmarks",
+            "Bro217",
+            "--scale",
+            "0.05",
+            "--trace-bytes",
+            "4096",
+            "--warmup",
+            "0",
+            "--repeats",
+            "1",
+            "--label",
+            "x",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["bench", "compare", "a", "b"])
+        assert args.fail_on == "any"
+        assert args.wall_tolerance == 0.10
+        assert args.format == "text"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["bench", "run"])
+        assert args.repeats == 3
+        assert args.warmup == 1
+        assert args.label == "local"
+
+
+class TestBenchRun:
+    def test_artifact_shape(self, artifact):
+        payload = json.loads(artifact.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["label"] == "x"
+        record = payload["benchmarks"]["Bro217@r1"]
+        assert record["cycles"]["reports_match"] is True
+        assert record["wall"]["repeats"] == 1
+
+    def test_unknown_benchmark_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "run",
+                "--benchmarks",
+                "NotABenchmark",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        assert "NotABenchmark" in capsys.readouterr().err
+
+    def test_env_subset_selected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_ONLY", "Bro217")
+        out = tmp_path / "BENCH_env.json"
+        code = main(
+            [
+                "bench",
+                "run",
+                "--scale",
+                "0.05",
+                "--trace-bytes",
+                "2048",
+                "--warmup",
+                "0",
+                "--repeats",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert list(payload["benchmarks"]) == ["Bro217@r1"]
+
+
+class TestBenchCompare:
+    def test_self_compare_clean(self, artifact, capsys):
+        code = main(
+            ["bench", "compare", str(artifact), str(artifact)]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "metric", ["pap_cycles", "speedup", "fiv_invalidations"]
+    )
+    def test_perturbed_cycle_metric_fails_and_is_named(
+        self, artifact, tmp_path, capsys, metric
+    ):
+        payload = json.loads(artifact.read_text())
+        cycles = payload["benchmarks"]["Bro217@r1"]["cycles"]
+        cycles[metric] = cycles[metric] + 1
+        perturbed = tmp_path / f"BENCH_{metric}.json"
+        perturbed.write_text(json.dumps(payload))
+        code = main(
+            ["bench", "compare", str(artifact), str(perturbed)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert metric in out
+        assert "REGRESSION" in out
+
+    def test_fail_on_never_masks_exit(self, artifact, tmp_path):
+        payload = json.loads(artifact.read_text())
+        payload["benchmarks"]["Bro217@r1"]["cycles"]["pap_cycles"] += 5
+        perturbed = tmp_path / "BENCH_p.json"
+        perturbed.write_text(json.dumps(payload))
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    str(artifact),
+                    str(perturbed),
+                    "--fail-on",
+                    "never",
+                ]
+            )
+            == 0
+        )
+
+    def test_fail_on_cycles_ignores_wall_noise(self, artifact, tmp_path):
+        payload = json.loads(artifact.read_text())
+        wall = payload["benchmarks"]["Bro217@r1"]["wall"]
+        wall["median_s"] = wall["median_s"] * 10 + 1.0
+        noisy = tmp_path / "BENCH_noisy.json"
+        noisy.write_text(json.dumps(payload))
+        args = ["bench", "compare", str(artifact), str(noisy)]
+        assert main(args) == 1
+        assert main(args + ["--fail-on", "cycles"]) == 0
+
+    def test_missing_baseline_is_usage_error(self, artifact, capsys):
+        code = main(
+            ["bench", "compare", "/nonexistent/BENCH.json", str(artifact)]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_schema_is_usage_error(self, artifact, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {"schema_version": 99, "label": "?", "benchmarks": {}}
+            )
+        )
+        code = main(["bench", "compare", str(bad), str(artifact)])
+        assert code == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_json_format(self, artifact, capsys):
+        code = main(
+            [
+                "bench",
+                "compare",
+                str(artifact),
+                str(artifact),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+
+
+class TestBenchReport:
+    def test_text_report(self, artifact, capsys):
+        assert main(["bench", "report", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "Bro217@r1" in out
+        assert "geomean" in out
+
+    def test_markdown_report(self, artifact, capsys):
+        code = main(
+            ["bench", "report", str(artifact), "--format", "markdown"]
+        )
+        assert code == 0
+        assert "| benchmark |" in capsys.readouterr().out
+
+    def test_missing_artifact_is_usage_error(self, capsys):
+        assert main(["bench", "report", "/nonexistent.json"]) == 2

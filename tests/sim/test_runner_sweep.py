@@ -1,5 +1,7 @@
 """Tests for the experiment harness (runner, sweeps, report rendering)."""
 
+import json
+
 import pytest
 
 from repro.errors import ExecutionError
@@ -56,7 +58,27 @@ class TestRunBenchmark:
 
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
-        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_empty_raises(self):
+        # A silent 0.0 would poison any baseline comparison.
+        with pytest.raises(ValueError, match="empty"):
+            geometric_mean([])
+
+    def test_to_dict_round_trips_through_json(self, run):
+        payload = run.to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded == payload
+        assert payload["name"] == "Bro217"
+        cycles = payload["cycles"]
+        assert cycles["baseline_cycles"] == run.baseline.total_cycles
+        assert cycles["pap_cycles"] == run.pap.total_cycles
+        assert cycles["speedup"] == run.speedup
+        assert cycles["reports_match"] is True
+
+    def test_to_dict_is_deterministic(self, bench):
+        first = run_benchmark(bench, ranks=1, trace_bytes=8_192)
+        second = run_benchmark(bench, ranks=1, trace_bytes=8_192)
+        assert first.to_dict() == second.to_dict()
 
 
 class TestSweeps:
