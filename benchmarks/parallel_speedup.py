@@ -1,0 +1,85 @@
+"""Wall-clock speedup of the host-parallel process backend.
+
+The cycle-domain model already claims near-linear segment speedups;
+this experiment measures what the *host* actually gains from running
+segments in worker processes (:mod:`repro.exec`).  Setup follows the
+EXPERIMENTS "Host-parallel execution" section: a 4-segment Ranges1
+workload (one rank, two devices), 256 KiB trace, ``use_fiv=False`` so
+all four segments dispatch concurrently, serial vs. a 4-worker process
+pool.  Run directly::
+
+    python benchmarks/parallel_speedup.py
+
+Wall speedup scales with the host's core count: on >= 4 physical cores
+the expected result is >1.5x (segment execution is ~99% of serial run
+time here and parallelizes fully); on fewer cores the run degrades
+gracefully toward serial speed plus the dispatch overhead, which this
+script also reports.  Cycle-domain results are asserted bit-identical
+between the backends either way.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.ap.geometry import BoardGeometry
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.pap import ParallelAutomataProcessor
+from repro.exec import ProcessPoolBackend
+from repro.perf.measure import measure_wall
+from repro.workloads.suite import build_benchmark
+
+BENCHMARK = "Ranges1"
+TRACE_BYTES = 262_144
+WORKERS = 4
+
+
+def main() -> None:
+    bench = build_benchmark(BENCHMARK, scale=0.05, seed=0)
+    data = bench.trace(TRACE_BYTES, 1)
+    # One rank, two devices -> four half-core groups -> four segments
+    # for a one-half-core benchmark; no FIV chain so all four segments
+    # are dispatch-independent.
+    config = replace(
+        DEFAULT_CONFIG,
+        geometry=BoardGeometry(ranks=1, devices_per_rank=2),
+        use_fiv=False,
+    )
+    pap = ParallelAutomataProcessor(
+        bench.automaton, config=config, half_cores=bench.half_cores
+    )
+
+    serial_run, serial_wall = measure_wall(
+        lambda: pap.run(data), warmup=1, repeats=3
+    )
+    with ProcessPoolBackend(workers=WORKERS) as pool:
+        # The warmup pass also spawns and warms the worker pool.
+        pool_run, pool_wall = measure_wall(
+            lambda: pap.run(data, backend=pool), warmup=1, repeats=3
+        )
+
+    assert pool_run.reports == serial_run.reports
+    assert pool_run.enumeration_cycles == serial_run.enumeration_cycles
+    assert pool_run.truth_times == serial_run.truth_times
+
+    speedup = serial_wall.median_s / pool_wall.median_s
+    print(f"host cores        : {os.cpu_count()}")
+    print(
+        f"workload          : {BENCHMARK} x {TRACE_BYTES // 1024} KiB, "
+        f"{serial_run.num_segments} segments, FIV off"
+    )
+    print(
+        f"serial backend    : {serial_wall.median_s * 1e3:7.1f}ms "
+        f"(±{serial_wall.mad_s * 1e3:.1f}ms MAD)"
+    )
+    print(
+        f"process backend   : {pool_wall.median_s * 1e3:7.1f}ms "
+        f"(±{pool_wall.mad_s * 1e3:.1f}ms MAD, {WORKERS} workers)"
+    )
+    print(f"wall speedup      : {speedup:.2f}x")
+    print("cycle domain      : bit-identical (asserted)")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,9 +22,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from repro.automata.analysis import AutomatonAnalysis
-from repro.core.config import PAPConfig
+from repro.core.config import DEFAULT_CONFIG, PAPConfig
 from repro.core.pap import ParallelAutomataProcessor
 from repro.core.ranges import choose_partition_symbol, range_profile
 from repro.core.speculation import SpeculativeAutomataProcessor
@@ -34,6 +35,7 @@ from repro.automata.anml import Automaton
 from repro.automata.anml_xml import automaton_from_anml_xml
 from repro.automata.serialization import loads as automaton_loads
 from repro.errors import ArtifactError, AutomatonError, ConfigurationError
+from repro.exec import BACKEND_NAMES, resolve_backend
 from repro.lint import (
     FAMILIES,
     LintConfig,
@@ -61,6 +63,34 @@ from repro.sim.runner import run_benchmark
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
 PAPER_BYTES = {"1MB": 1_048_576, "10MB": 10_485_760}
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend flags shared by ``run`` and ``bench run``."""
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help=(
+            "host execution backend (repro.exec); 'process' runs "
+            "segments in worker processes, cycle metrics are identical"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend process (default: CPU count)",
+    )
+    parser.add_argument(
+        "--no-fiv",
+        action="store_true",
+        help=(
+            "disable the flow-invalidation vector; removes the "
+            "cross-segment dependency so --backend process runs all "
+            "segments concurrently (wall-clock parallel ablation)"
+        ),
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +126,8 @@ def _run_summary(run, bench, args) -> dict:
         "states": bench.automaton.num_states,
         "trace_bytes": run.trace_bytes,
         "ranks": run.ranks,
+        "backend": getattr(args, "backend", "serial"),
+        "use_fiv": not getattr(args, "no_fiv", False),
         "segments": pap.num_segments,
         "baseline_cycles": run.baseline.total_cycles,
         "pap_cycles": pap.total_cycles,
@@ -125,6 +157,11 @@ def _print_run_text(summary: dict) -> None:
         f"segments         : {summary['segments']} "
         f"on {summary['ranks']} rank(s)"
     )
+    if summary["backend"] != "serial" or not summary["use_fiv"]:
+        fiv = "on" if summary["use_fiv"] else "off"
+        print(
+            f"backend          : {summary['backend']} (FIV {fiv})"
+        )
     print(f"baseline cycles  : {summary['baseline_cycles']}")
     print(f"PAP cycles       : {summary['pap_cycles']}")
     print(
@@ -155,14 +192,29 @@ def _print_run_text(summary: dict) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     bench = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
     tracer = Tracer() if (args.trace or args.profile) else None
-    run = run_benchmark(
-        bench,
-        ranks=args.ranks,
-        trace_bytes=args.trace_bytes,
-        modeled_bytes=PAPER_BYTES.get(args.model_input),
-        trace_seed=args.seed + 1,
-        observer=tracer,
+    config = (
+        replace(DEFAULT_CONFIG, use_fiv=False)
+        if args.no_fiv
+        else DEFAULT_CONFIG
     )
+    try:
+        backend = resolve_backend(args.backend, workers=args.workers)
+    except ConfigurationError as error:
+        print(f"repro run: {error}", file=sys.stderr)
+        return 2
+    try:
+        run = run_benchmark(
+            bench,
+            ranks=args.ranks,
+            trace_bytes=args.trace_bytes,
+            modeled_bytes=PAPER_BYTES.get(args.model_input),
+            trace_seed=args.seed + 1,
+            config=config,
+            observer=tracer,
+            backend=backend,
+        )
+    finally:
+        backend.close()
     summary = _run_summary(run, bench, args)
     if args.format == "json":
         print(json.dumps(summary, indent=2))
@@ -233,18 +285,25 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     except ConfigurationError as error:
         print(f"repro bench run: {error}", file=sys.stderr)
         return 2
-    report = run_bench_suite(
-        names,
-        label=args.label,
-        scale=args.scale,
-        seed=args.seed,
-        ranks=args.ranks,
-        trace_bytes=args.trace_bytes,
-        modeled_bytes=PAPER_BYTES.get(args.model_input),
-        warmup=args.warmup,
-        repeats=args.repeats,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    try:
+        report = run_bench_suite(
+            names,
+            label=args.label,
+            scale=args.scale,
+            seed=args.seed,
+            ranks=args.ranks,
+            trace_bytes=args.trace_bytes,
+            modeled_bytes=PAPER_BYTES.get(args.model_input),
+            warmup=args.warmup,
+            repeats=args.repeats,
+            backend=args.backend,
+            workers=args.workers,
+            use_fiv=not args.no_fiv,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except ConfigurationError as error:
+        print(f"repro bench run: {error}", file=sys.stderr)
+        return 2
     out = args.out or f"BENCH_{args.label}.json"
     path = report.write(out)
     print(render_report(report, args.format))
@@ -484,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the aggregated text profile after the summary",
     )
+    _add_backend(run_parser)
     _add_common(run_parser)
 
     trace_parser = commands.add_parser(
@@ -569,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument(
         "--format", choices=("text", "markdown", "json"), default="text"
     )
+    _add_backend(bench_run)
     _add_common(bench_run)
 
     bench_compare = bench_commands.add_parser(

@@ -105,6 +105,14 @@ class PAPRunResult:
         return switch / total
 
     @property
+    def convergence_check_cycles(self) -> int:
+        """Cycles charged for in-line convergence comparisons across all
+        segments (zero under the default overlapped-checks timing)."""
+        return sum(
+            r.metrics.convergence_check_cycles for r in self.segment_results
+        )
+
+    @property
     def average_tcpu(self) -> float:
         """Mean per-segment false-path decode cost (Figure 11)."""
         if not self.tcpu_cycles:

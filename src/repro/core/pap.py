@@ -26,7 +26,6 @@ from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton
 from repro.automata.execution import CompiledAutomaton
 from repro.ap.placement import place_automaton, segments_available
-from repro.core.composition import compose_segment, unit_truth_map
 from repro.core.config import DEFAULT_CONFIG, PAPConfig
 from repro.core.enumeration import build_units
 from repro.core.merging import FlowReductionStats, pack_flows
@@ -37,8 +36,8 @@ from repro.core.ranges import (
     choose_partition_symbol,
     enumeration_range,
 )
-from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
-from repro.host.decode import false_path_decode_cycles
+from repro.core.scheduler import SegmentPlan, SegmentResult
+from repro.exec.backend import ExecutionBackend, ExecutionContext, resolve_backend
 from repro.host.reporting import report_processing_cycles
 from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, TRACK_RUN, Observer
 
@@ -236,8 +235,23 @@ class ParallelAutomataProcessor:
 
     # -- runtime ----------------------------------------------------------------
 
-    def run(self, data: bytes) -> PAPRunResult:
+    def run(
+        self,
+        data: bytes,
+        *,
+        backend: ExecutionBackend | str | None = None,
+        workers: int | None = None,
+    ) -> PAPRunResult:
         """Execute the full PAP pipeline over ``data``.
+
+        ``backend`` selects *where* segments execute (see
+        :mod:`repro.exec`): ``None``/``"serial"`` runs them in-process,
+        ``"process"`` dispatches them to a pool of ``workers`` host
+        processes.  Cycle-domain metrics and report sets are identical
+        across backends; only host wall-clock changes.  A backend
+        *instance* is reused as-is (its pool survives for the caller to
+        close); a name constructs a one-shot backend closed before
+        returning.
 
         Timing follows Section 3.4: the host decode of segment ``j``'s
         final state vector (``T_cpu``) sits on a serial availability
@@ -256,60 +270,25 @@ class ParallelAutomataProcessor:
             "run", track=TRACK_RUN, cycle=0, args={"input_bytes": len(data)}
         )
         plan = self.plan(data)
-        scheduler = SegmentScheduler(
-            self.compiled,
-            self.analysis,
-            self.config,
-            self.path_independent,
+        owns_backend = not isinstance(backend, ExecutionBackend)
+        resolved = resolve_backend(backend, workers=workers)
+        ctx = ExecutionContext(
+            automaton=self.automaton,
+            compiled=self.compiled,
+            analysis=self.analysis,
+            config=self.config,
+            path_independent=self.path_independent,
             observer=obs,
         )
-        timing = self.config.timing
+        try:
+            outcomes = resolved.execute(ctx, data, plan.segments)
+        finally:
+            if owns_backend:
+                resolved.close()
 
-        segment_results = []
-        composed_segments = []
-        decode_costs: list[int] = []
-        fiv_chain = 0
-        previous_matched: frozenset[int] = frozenset()
-
-        for segment_plan in plan.segments:
-            index = segment_plan.segment.index
-            if segment_plan.is_golden:
-                result = scheduler.run_segment(data, segment_plan)
-                compose_span = obs.begin_span(
-                    f"compose[{index}]", track=TRACK_HOST
-                )
-                composed = compose_segment(result, {}, self.analysis)
-            else:
-                truth = unit_truth_map(segment_plan.flows, previous_matched)
-                fiv_time = (
-                    fiv_chain + timing.fiv_transfer_cycles
-                    if self.config.use_fiv
-                    else None
-                )
-                result = scheduler.run_segment(
-                    data, segment_plan, unit_truth=truth, fiv_time=fiv_time
-                )
-                compose_span = obs.begin_span(
-                    f"compose[{index}]", track=TRACK_HOST
-                )
-                composed = compose_segment(result, truth, self.analysis)
-            obs.end_span(
-                compose_span,
-                args={
-                    "true_events": composed.true_events,
-                    "raw_events": composed.raw_events,
-                },
-            )
-            decode = false_path_decode_cycles(
-                max(1, result.metrics.flows_at_end), timing=timing
-            )
-            fiv_chain = (
-                max(fiv_chain, result.metrics.finish_cycles) + decode
-            )
-            segment_results.append(result)
-            composed_segments.append(composed)
-            decode_costs.append(decode)
-            previous_matched = composed.final_matched
+        segment_results = [outcome.result for outcome in outcomes]
+        composed_segments = [outcome.composed for outcome in outcomes]
+        decode_costs = [outcome.decode_cycles for outcome in outcomes]
 
         # Availability chain with the common-case skip: T_cpu[j] is
         # charged only when segment j+1 actually consumed M[j] (it still
@@ -394,7 +373,13 @@ class ParallelAutomataProcessor:
             tcpu_cycles=tuple(tcpu_values),
             enumeration_cycles=enumeration_cycles,
             golden_cycles=golden_cycles,
-            svc_overflow=plan.max_planned_flows + 1 > self.config.max_flows,
+            # The ASG flow occupies one SVC slot only when it exists —
+            # automata with no path-independent states spawn none.
+            svc_overflow=(
+                plan.max_planned_flows
+                + (1 if self.path_independent else 0)
+                > self.config.max_flows
+            ),
             input_bytes=len(data),
             extra={"svc": svc_totals},
         )

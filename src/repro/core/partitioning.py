@@ -89,14 +89,17 @@ def _snap(
     ``symbol`` when one lies within the window, else ``target``."""
     if symbol is None:
         return target
+    # The scan is inclusive of ``target + window`` (an occurrence exactly
+    # at the window edge is still in range) but stops at ``len(data) - 2``:
+    # cutting after the input's last byte is no cut at all.
     lo = max(floor, target - window)
-    hi = min(len(data) - 1, target + window)
+    hi = min(len(data) - 2, target + window)
     best: int | None = None
-    best_distance = window + 1
-    for position in range(lo, hi):
+    best_distance = 0
+    for position in range(lo, hi + 1):
         if data[position] == symbol:
             distance = abs(position + 1 - target)
-            if distance < best_distance:
+            if best is None or distance < best_distance:
                 best = position + 1  # cut *after* the symbol
                 best_distance = distance
     return best if best is not None else target

@@ -1,0 +1,28 @@
+"""Execution backends: serial and host-parallel segment execution.
+
+See :mod:`repro.exec.backend` for the backend contract (dispatch and
+dependency rules, bit-exactness) and :mod:`repro.exec.worker` for the
+spawn-safe worker protocol.
+"""
+
+from repro.exec.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ExecutionContext,
+    ProcessPoolBackend,
+    SegmentOutcome,
+    SerialBackend,
+    TRACK_EXEC,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ExecutionContext",
+    "ProcessPoolBackend",
+    "SegmentOutcome",
+    "SerialBackend",
+    "TRACK_EXEC",
+    "resolve_backend",
+]

@@ -1,0 +1,422 @@
+"""Pluggable execution backends: where segments actually run.
+
+:class:`ParallelAutomataProcessor.run` models the paper's cycle domain
+faithfully, but *how the host drives the simulation* is a separate
+concern: the seed implementation ran every segment serially inside one
+Python process, so wall-clock numbers understated what simultaneous
+segment execution buys.  This module extracts that choice behind
+:class:`ExecutionBackend`:
+
+``SerialBackend``
+    The extracted original behaviour — one in-process
+    :class:`SegmentScheduler`, segments executed in index order.
+
+``ProcessPoolBackend``
+    Host-parallel execution: each ``run_segment`` call is dispatched to
+    a worker process via :class:`concurrent.futures.ProcessPoolExecutor`
+    (spawn-safe — see :mod:`repro.exec.worker`).  Dispatch is
+    dependency-aware:
+
+    * with ``use_fiv=False`` every enumerated segment is independent of
+      its predecessors' *execution* (truth only matters at composition
+      time), so all segments run concurrently;
+    * with ``use_fiv=True`` a segment's flow-invalidation inputs
+      (``unit_truth``, ``fiv_time``) come from its predecessor's
+      completed, composed result, so the pool pipelines the Section 3.4
+      availability chain — each segment is dispatched the moment its
+      inputs resolve.
+
+**Bit-exactness contract**: for any automaton, input, and configuration,
+every backend produces identical cycle-domain ``SegmentResult`` metrics,
+identical composition outcomes, and identical report sets.  Backends
+change *host wall-clock* only; the property-based equivalence tests in
+``tests/exec/`` pin this.
+
+Host-side composition (truth decisions, ``T_cpu`` decode accounting)
+always runs in the parent process — it is the host's job in the paper,
+and it is what produces each segment's ``previous_matched`` dependency.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.execution import CompiledAutomaton
+from repro.core.composition import (
+    ComposedSegment,
+    compose_segment,
+    unit_truth_map,
+)
+from repro.core.config import PAPConfig
+from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
+from repro.errors import ConfigurationError, ExecutionError, ReproError
+from repro.exec.worker import RunPayload, run_segment_task
+from repro.host.decode import false_path_decode_cycles
+from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, Observer
+
+#: Track name for backend dispatch spans in :mod:`repro.obs` traces.
+TRACK_EXEC = "exec"
+
+#: The spellable backend names accepted by :func:`resolve_backend` (and
+#: the CLI's ``--backend`` flag).
+BACKEND_NAMES = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything a backend needs to execute one planned input."""
+
+    automaton: Automaton
+    compiled: CompiledAutomaton
+    analysis: AutomatonAnalysis
+    config: PAPConfig
+    path_independent: frozenset[int]
+    observer: Observer = NULL_OBSERVER
+
+
+@dataclass(frozen=True)
+class SegmentOutcome:
+    """One segment's execution result plus its host-side composition."""
+
+    result: SegmentResult
+    composed: ComposedSegment
+    decode_cycles: int
+    """``T_cpu`` for this segment (Figure 11), charged on the
+    availability chain by the orchestrator when actually consumed."""
+
+
+class ExecutionBackend:
+    """Strategy interface: run all segments of one planned input.
+
+    Subclasses implement :meth:`execute`; the shared helpers below keep
+    the host-side dependency chain (unit truth, FIV timing, composition)
+    identical across backends, which is what makes the bit-exactness
+    contract cheap to uphold.
+    """
+
+    name = "abstract"
+
+    def execute(
+        self,
+        ctx: ExecutionContext,
+        data: bytes,
+        plans: tuple[SegmentPlan, ...],
+    ) -> list[SegmentOutcome]:
+        """Run every segment and compose each result, in index order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker pools).  Idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- shared host-side steps -------------------------------------------
+
+    @staticmethod
+    def _segment_inputs(
+        ctx: ExecutionContext,
+        plan: SegmentPlan,
+        previous_matched: frozenset[int],
+        fiv_chain: int,
+    ) -> tuple[dict[int, bool], int | None]:
+        """A segment's FIV inputs, resolved from its predecessor."""
+        if plan.is_golden:
+            return {}, None
+        truth = unit_truth_map(plan.flows, previous_matched)
+        fiv_time = (
+            fiv_chain + ctx.config.timing.fiv_transfer_cycles
+            if ctx.config.use_fiv
+            else None
+        )
+        return truth, fiv_time
+
+    @staticmethod
+    def _compose(
+        ctx: ExecutionContext,
+        result: SegmentResult,
+        truth: dict[int, bool],
+    ) -> SegmentOutcome:
+        """Host composition of one finished segment (always in-process)."""
+        obs = ctx.observer
+        span = obs.begin_span(
+            f"compose[{result.plan.segment.index}]", track=TRACK_HOST
+        )
+        composed = compose_segment(result, truth, ctx.analysis)
+        obs.end_span(
+            span,
+            args={
+                "true_events": composed.true_events,
+                "raw_events": composed.raw_events,
+            },
+        )
+        decode = false_path_decode_cycles(
+            max(1, result.metrics.flows_at_end), timing=ctx.config.timing
+        )
+        return SegmentOutcome(
+            result=result, composed=composed, decode_cycles=decode
+        )
+
+
+class SerialBackend(ExecutionBackend):
+    """The original in-process behaviour, extracted verbatim from
+    ``ParallelAutomataProcessor.run``: one scheduler, segments executed
+    in index order, composition interleaved segment to segment."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        ctx: ExecutionContext,
+        data: bytes,
+        plans: tuple[SegmentPlan, ...],
+    ) -> list[SegmentOutcome]:
+        obs = ctx.observer
+        if obs.enabled and plans:
+            obs.metrics.gauge("exec.workers").set(1)
+        scheduler = SegmentScheduler(
+            ctx.compiled,
+            ctx.analysis,
+            ctx.config,
+            ctx.path_independent,
+            observer=obs,
+        )
+        outcomes: list[SegmentOutcome] = []
+        previous_matched: frozenset[int] = frozenset()
+        fiv_chain = 0
+        for plan in plans:
+            truth, fiv_time = self._segment_inputs(
+                ctx, plan, previous_matched, fiv_chain
+            )
+            obs.metrics.counter("exec.dispatches").inc()
+            if plan.is_golden:
+                result = scheduler.run_segment(data, plan)
+            else:
+                result = scheduler.run_segment(
+                    data, plan, unit_truth=truth, fiv_time=fiv_time
+                )
+            outcome = self._compose(ctx, result, truth)
+            fiv_chain = (
+                max(fiv_chain, result.metrics.finish_cycles)
+                + outcome.decode_cycles
+            )
+            previous_matched = outcome.composed.final_matched
+            outcomes.append(outcome)
+        return outcomes
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Host-parallel segment execution on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the host CPU count.
+    mp_context:
+        ``multiprocessing`` start method.  Defaults to ``"spawn"`` — the
+        only method safe on every platform, and the one the payload
+        serialization is designed for.  ``"fork"`` works on POSIX and
+        skips child interpreter start-up.
+
+    The pool is created lazily on first use and *reused across runs* (a
+    warmup pass through :func:`repro.perf.measure.measure_wall` therefore
+    also warms the pool), so callers owning a backend instance should
+    :meth:`close` it — or use it as a context manager — when done.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int | None = None, *, mp_context: str = "spawn"
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("process backend needs >= 1 worker")
+        self.workers = workers if workers is not None else os.cpu_count() or 1
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._run_counter = 0
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self._mp_context),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _submit(
+        self,
+        ctx: ExecutionContext,
+        token: object,
+        payload: RunPayload,
+        plan: SegmentPlan,
+        truth: dict[int, bool] | None,
+        fiv_time: int | None,
+    ) -> tuple[Future, int]:
+        obs = ctx.observer
+        obs.metrics.counter("exec.dispatches").inc()
+        span = obs.begin_span(
+            f"dispatch[{plan.segment.index}]",
+            track=TRACK_EXEC,
+            args={
+                "kind": "golden" if plan.is_golden else "enumerated",
+                "flows": len(plan.flows),
+            },
+        )
+        try:
+            future = self._pool().submit(
+                run_segment_task, token, payload, plan, truth, fiv_time
+            )
+        except BrokenProcessPool as error:
+            self.close()
+            raise ExecutionError(
+                "process backend could not dispatch segment "
+                f"{plan.segment.index}: worker pool is broken ({error})"
+            ) from error
+        return future, span
+
+    def _collect(
+        self,
+        ctx: ExecutionContext,
+        future: Future,
+        span: int,
+        plan: SegmentPlan,
+    ) -> SegmentResult:
+        obs = ctx.observer
+        index = plan.segment.index
+        try:
+            task_result = future.result()
+        except BrokenProcessPool as error:
+            self.close()
+            raise ExecutionError(
+                f"process backend worker died while executing segment "
+                f"{index} (pool broken: {error}); the run cannot be "
+                "composed — rerun with backend='serial' to bisect"
+            ) from error
+        except ReproError:
+            raise
+        except Exception as error:  # noqa: BLE001 — worker errors vary
+            self.close()
+            raise ExecutionError(
+                f"segment {index} failed in worker process: {error!r}"
+            ) from error
+        obs.end_span(
+            span,
+            args={
+                "pid": task_result.pid,
+                "worker_wall_ms": task_result.wall_ns / 1e6,
+            },
+        )
+        return task_result.result
+
+    def execute(
+        self,
+        ctx: ExecutionContext,
+        data: bytes,
+        plans: tuple[SegmentPlan, ...],
+    ) -> list[SegmentOutcome]:
+        if not plans:
+            return []
+        obs = ctx.observer
+        if obs.enabled:
+            obs.metrics.gauge("exec.workers").set(self.workers)
+        self._run_counter += 1
+        token = (id(self), self._run_counter)
+        payload = RunPayload(
+            automaton=ctx.automaton,
+            config=ctx.config,
+            path_independent=ctx.path_independent,
+            data=data,
+        )
+        outcomes: list[SegmentOutcome] = []
+        previous_matched: frozenset[int] = frozenset()
+        if ctx.config.use_fiv:
+            # Section 3.4 availability chain: segment j+1's FIV inputs
+            # need segment j's composed result, so dispatch pipelines
+            # along the chain — each segment enters the pool the moment
+            # its inputs resolve.
+            fiv_chain = 0
+            for plan in plans:
+                truth, fiv_time = self._segment_inputs(
+                    ctx, plan, previous_matched, fiv_chain
+                )
+                future, span = self._submit(
+                    ctx, token, payload, plan, truth, fiv_time
+                )
+                result = self._collect(ctx, future, span, plan)
+                outcome = self._compose(ctx, result, truth)
+                fiv_chain = (
+                    max(fiv_chain, result.metrics.finish_cycles)
+                    + outcome.decode_cycles
+                )
+                previous_matched = outcome.composed.final_matched
+                outcomes.append(outcome)
+            return outcomes
+        # Without the FIV no segment's *execution* depends on another —
+        # enumeration truth only matters at composition time — so every
+        # segment runs concurrently and composition chains afterwards.
+        pending = [
+            self._submit(ctx, token, payload, plan, None, None)
+            for plan in plans
+        ]
+        results = [
+            self._collect(ctx, future, span, plan)
+            for (future, span), plan in zip(pending, plans)
+        ]
+        for plan, result in zip(plans, results):
+            truth = (
+                {}
+                if plan.is_golden
+                else unit_truth_map(plan.flows, previous_matched)
+            )
+            outcome = self._compose(ctx, result, truth)
+            previous_matched = outcome.composed.final_matched
+            outcomes.append(outcome)
+        return outcomes
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None",
+    *,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Turn a backend spec (instance, name, or ``None``) into an instance.
+
+    ``None`` and ``"serial"`` yield a fresh :class:`SerialBackend`;
+    ``"process"`` yields a :class:`ProcessPoolBackend` with ``workers``.
+    An existing instance passes through untouched (``workers`` must then
+    be ``None`` — the instance already owns its pool size).
+    """
+    if isinstance(backend, ExecutionBackend):
+        if workers is not None:
+            raise ConfigurationError(
+                "workers cannot be overridden on an existing backend "
+                "instance; construct the backend with the desired count"
+            )
+        return backend
+    if backend is None or backend == "serial":
+        return SerialBackend()
+    if backend == "process":
+        return ProcessPoolBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown execution backend {backend!r} "
+        f"(expected one of {', '.join(BACKEND_NAMES)})"
+    )

@@ -1,0 +1,99 @@
+"""Spawn-safe worker entry points for :class:`ProcessPoolBackend`.
+
+Everything in this module must be importable by a freshly spawned
+interpreter (no closures, no lambdas, no state captured from the parent
+process): ``multiprocessing``'s spawn start method pickles only the
+function *reference* and its arguments, then re-imports this module in
+the child.
+
+Each task ships the full run payload (automaton, configuration, input)
+alongside the segment plan, tagged with a per-run token.  Workers cache
+the compiled scheduler keyed on that token, so within one run each
+worker pays the :class:`CompiledAutomaton` build exactly once no matter
+how many segments it executes.  Only the latest token is kept — pools
+are reused across runs and automata, and a one-slot cache bounds worker
+memory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+from repro.automata.execution import CompiledAutomaton
+from repro.core.config import PAPConfig
+from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
+
+#: Test hook: when set in the environment, every worker task hard-exits
+#: instead of running, simulating a crashed worker process.  Used by the
+#: test suite to pin the backend's crash surfacing; never set it in
+#: production.
+CRASH_ENV = "REPRO_EXEC_TEST_CRASH"
+
+
+@dataclass(frozen=True)
+class RunPayload:
+    """Everything a worker needs to reconstruct one run's scheduler."""
+
+    automaton: Automaton
+    config: PAPConfig
+    path_independent: frozenset[int]
+    data: bytes
+
+
+@dataclass(frozen=True)
+class SegmentTaskResult:
+    """One executed segment plus worker-side wall accounting."""
+
+    result: SegmentResult
+    wall_ns: int
+    pid: int
+
+
+_cached_token: object = None
+_cached_scheduler: SegmentScheduler | None = None
+
+
+def _scheduler_for(token: object, payload: RunPayload) -> SegmentScheduler:
+    """The worker-local scheduler for ``token``, compiled on first use."""
+    global _cached_token, _cached_scheduler
+    if _cached_scheduler is None or _cached_token != token:
+        _cached_scheduler = SegmentScheduler(
+            CompiledAutomaton(payload.automaton),
+            AutomatonAnalysis(payload.automaton),
+            payload.config,
+            payload.path_independent,
+        )
+        _cached_token = token
+    return _cached_scheduler
+
+
+def run_segment_task(
+    token: object,
+    payload: RunPayload,
+    plan: SegmentPlan,
+    unit_truth: dict[int, bool] | None,
+    fiv_time: int | None,
+) -> SegmentTaskResult:
+    """Execute one segment in this worker process.
+
+    The cycle-domain outcome is bit-identical to running the same
+    :meth:`SegmentScheduler.run_segment` call in the parent: the
+    scheduler is deterministic and the observer plays no part in the
+    returned :class:`SegmentResult`.
+    """
+    if os.environ.get(CRASH_ENV):
+        os._exit(3)
+    start = time.perf_counter_ns()
+    scheduler = _scheduler_for(token, payload)
+    result = scheduler.run_segment(
+        payload.data, plan, unit_truth=unit_truth, fiv_time=fiv_time
+    )
+    return SegmentTaskResult(
+        result=result,
+        wall_ns=time.perf_counter_ns() - start,
+        pid=os.getpid(),
+    )

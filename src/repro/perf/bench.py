@@ -12,9 +12,12 @@ its smoke subset).
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Callable
 
+from repro.core.config import DEFAULT_CONFIG
 from repro.errors import ConfigurationError
+from repro.exec.backend import ExecutionBackend, resolve_backend
 from repro.perf.artifact import BenchmarkRecord, PerfReport
 from repro.perf.measure import measure_wall
 from repro.sim.runner import run_benchmark
@@ -57,9 +60,31 @@ def run_bench_suite(
     modeled_bytes: int | None = None,
     warmup: int = 1,
     repeats: int = 3,
+    backend: ExecutionBackend | str | None = None,
+    workers: int | None = None,
+    use_fiv: bool = True,
     progress: Callable[[str], None] | None = None,
 ) -> PerfReport:
-    """Run ``names`` and return the artifact-ready report."""
+    """Run ``names`` and return the artifact-ready report.
+
+    ``backend``/``workers`` select the host execution backend
+    (:mod:`repro.exec`).  Cycle-domain metrics are backend-invariant, so
+    artifacts captured under different backends compare clean with
+    ``--fail-on cycles`` and differ only in their wall-clock stats —
+    that is how serial vs. process wall speedups are measured (see
+    EXPERIMENTS.md).  One backend instance is shared by every benchmark
+    and repeat, so process pools are spawned (and their workers warmed)
+    once per suite, not once per run.
+
+    ``use_fiv=False`` disables the flow-invalidation vector, removing
+    the cross-segment dispatch dependency so the process backend can run
+    all segments concurrently (wall-parallel ablation).
+    """
+    resolved = resolve_backend(backend, workers=workers)
+    owns_backend = not isinstance(backend, ExecutionBackend)
+    config = (
+        DEFAULT_CONFIG if use_fiv else replace(DEFAULT_CONFIG, use_fiv=False)
+    )
     report = PerfReport(
         label=label,
         parameters={
@@ -70,32 +95,41 @@ def run_bench_suite(
             "modeled_bytes": modeled_bytes,
             "warmup": warmup,
             "repeats": repeats,
+            "backend": resolved.name,
+            "workers": getattr(resolved, "workers", 1),
+            "use_fiv": use_fiv,
             "benchmarks": list(names),
         },
     )
-    for name in names:
-        divisor = HEAVY_TRACE_DIVISOR.get(name, 1)
-        bench = build_benchmark(name, scale=scale, seed=seed)
-        run, wall = measure_wall(
-            lambda: run_benchmark(
-                bench,
-                ranks=ranks,
-                trace_bytes=trace_bytes // divisor,
-                modeled_bytes=(
-                    modeled_bytes // divisor
-                    if modeled_bytes is not None
-                    else None
+    try:
+        for name in names:
+            divisor = HEAVY_TRACE_DIVISOR.get(name, 1)
+            bench = build_benchmark(name, scale=scale, seed=seed)
+            run, wall = measure_wall(
+                lambda: run_benchmark(
+                    bench,
+                    ranks=ranks,
+                    trace_bytes=trace_bytes // divisor,
+                    modeled_bytes=(
+                        modeled_bytes // divisor
+                        if modeled_bytes is not None
+                        else None
+                    ),
+                    trace_seed=seed + 1,
+                    config=config,
+                    backend=resolved,
                 ),
-                trace_seed=seed + 1,
-            ),
-            warmup=warmup,
-            repeats=repeats,
-        )
-        report.add(BenchmarkRecord.from_run(run, wall=wall))
-        if progress is not None:
-            progress(
-                f"{run.name}: speedup {run.speedup:.2f}x, "
-                f"wall {wall.median_s * 1e3:.1f}ms"
-                f"±{wall.mad_s * 1e3:.1f}ms"
+                warmup=warmup,
+                repeats=repeats,
             )
+            report.add(BenchmarkRecord.from_run(run, wall=wall))
+            if progress is not None:
+                progress(
+                    f"{run.name}: speedup {run.speedup:.2f}x, "
+                    f"wall {wall.median_s * 1e3:.1f}ms"
+                    f"±{wall.mad_s * 1e3:.1f}ms"
+                )
+    finally:
+        if owns_backend:
+            resolved.close()
     return report

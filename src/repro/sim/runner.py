@@ -17,6 +17,7 @@ from repro.core.config import DEFAULT_CONFIG, PAPConfig
 from repro.core.metrics import PAPRunResult
 from repro.core.pap import ParallelAutomataProcessor
 from repro.errors import ExecutionError
+from repro.exec.backend import ExecutionBackend
 from repro.obs.tracer import Observer, Tracer
 from repro.workloads.suite import BenchmarkInstance
 
@@ -81,6 +82,7 @@ class BenchmarkRun:
                 "ideal_speedup": self.ideal_speedup,
                 "avg_active_flows": pap.average_active_flows,
                 "switching_overhead": pap.switching_overhead,
+                "convergence_check_cycles": pap.convergence_check_cycles,
                 "average_tcpu": pap.average_tcpu,
                 "deactivations": pap.deactivations,
                 "convergence_merges": pap.convergence_merges,
@@ -115,6 +117,7 @@ def run_benchmark(
     config: PAPConfig = DEFAULT_CONFIG,
     verify_reports: bool = True,
     observer: Observer | None = None,
+    backend: ExecutionBackend | str | None = None,
 ) -> BenchmarkRun:
     """Run one benchmark end to end and package the measurement.
 
@@ -129,6 +132,12 @@ def run_benchmark(
     through the PAP execution; when it is a
     :class:`~repro.obs.Tracer`, the returned run carries it as
     ``run.trace``.
+
+    ``backend`` selects the host execution backend (:mod:`repro.exec`);
+    cycle-domain measurements are backend-invariant, so a
+    :class:`BenchmarkRun`'s ``to_dict`` payload is bit-identical across
+    backends.  Pass a backend *instance* to reuse one worker pool
+    across repeated runs (the caller closes it).
     """
     board = BoardGeometry(ranks=ranks)
     timing = config.timing
@@ -143,7 +152,7 @@ def run_benchmark(
         config=config,
         half_cores=benchmark.half_cores,
         observer=observer,
-    ).run(data)
+    ).run(data, backend=backend)
 
     matches = pap.reports == baseline.reports
     if verify_reports and not matches:

@@ -216,3 +216,40 @@ class TestPlanning:
         # instead of a fixed value.
         expected = any(len(p.flows) + 1 > 1 for p in result.plans)
         assert result.svc_overflow == expected
+
+    def test_svc_overflow_without_asg_flow(self):
+        # Regression: the +1 for the ASG flow was unconditional, so an
+        # automaton with no path-independent states (hence no ASG flow)
+        # flagged overflow at exactly max_flows planned flows even
+        # though every flow had a slot.
+        automaton, _ = compile_ruleset(["^abcab", "^babba", "^aabb"])
+        rng = random.Random(1)
+        data = bytes(rng.choice(b"ab") for _ in range(2000))
+        pap = ParallelAutomataProcessor(automaton, config=small_config())
+        assert not pap.path_independent
+        peak = pap.plan(data).max_planned_flows
+        assert peak >= 2
+        at_capacity = ParallelAutomataProcessor(
+            automaton, config=small_config(max_flows=peak)
+        ).run(data)
+        assert at_capacity.svc_overflow is False
+        over_capacity = ParallelAutomataProcessor(
+            automaton, config=small_config(max_flows=peak - 1)
+        ).run(data)
+        assert over_capacity.svc_overflow is True
+
+    def test_svc_overflow_counts_asg_flow_when_present(self, ruleset, trace):
+        # With path-independent states the ASG flow does occupy a slot:
+        # exactly max_flows planned flows must still overflow.
+        pap = ParallelAutomataProcessor(ruleset, config=small_config())
+        assert pap.path_independent
+        peak = pap.plan(trace).max_planned_flows
+        assert peak >= 1
+        at_capacity = ParallelAutomataProcessor(
+            ruleset, config=small_config(max_flows=peak)
+        ).run(trace)
+        assert at_capacity.svc_overflow is True
+        with_headroom = ParallelAutomataProcessor(
+            ruleset, config=small_config(max_flows=peak + 1)
+        ).run(trace)
+        assert with_headroom.svc_overflow is False

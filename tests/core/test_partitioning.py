@@ -67,6 +67,25 @@ class TestSnapping:
         starts = [s.start for s in segments]
         assert starts == sorted(set(starts))
 
+    def test_symbol_exactly_at_window_edge_is_found(self):
+        # Regression: the scan used to stop one short of
+        # ``target + window``, so an occurrence exactly at the window
+        # edge fell back to the unsnapped target. Target 10, window 3,
+        # sole 'b' at position 13 == target + window.
+        data = b"a" * 13 + b"b" + b"a" * 6
+        segments = partition_input(data, 2, symbol=ord("b"), snap_window=3)
+        assert segments[1].start == 14  # just after the 'b'
+        assert segments[1].boundary_symbol == ord("b")
+
+    def test_window_edge_symbol_at_input_tail_keeps_boundary(self):
+        # A symbol at the input's final byte must not snap: cutting
+        # after it would be no cut at all, and the boundary must fall
+        # back to the target rather than vanish.
+        data = b"a" * 9 + b"b"
+        segments = partition_input(data, 2, symbol=ord("b"), snap_window=10)
+        assert len(segments) == 2
+        assert segments[1].start == 5
+
 
 class TestDegenerateInputs:
     def test_empty_input(self):

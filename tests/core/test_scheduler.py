@@ -246,6 +246,58 @@ class TestEnumeratedSegment:
         ]
         assert merged_units
 
+    def test_inline_convergence_checks_are_not_switching_overhead(self):
+        # Regression: with overlapped checks disabled, the in-line
+        # comparator cycles used to be folded into
+        # context_switch_cycles, inflating Figure 10's overhead. They
+        # are their own bucket now; switching must match the
+        # overlapped-timing run exactly.
+        from dataclasses import replace
+
+        from repro.core.config import DEFAULT_CONFIG
+
+        # Same two-flow shape as the convergence-merge test above.
+        automaton = Automaton("conv")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("ax"))
+        builder.attach_pattern(automaton, hub, builder.classes_for("bay"))
+        data = b"xxxa" + b"z" * 28
+        overlapped_sched, analysis = make_scheduler(
+            automaton, use_deactivation=False, convergence_period_steps=1
+        )
+        plan = plan_for(automaton, analysis, data, 4, len(data))
+        overlapped = overlapped_sched.run_segment(data, plan)
+
+        timing = replace(
+            DEFAULT_CONFIG.timing, convergence_checks_overlapped=False
+        )
+        inline_sched, _ = make_scheduler(
+            automaton,
+            use_deactivation=False,
+            convergence_period_steps=1,
+            timing=timing,
+        )
+        inline = inline_sched.run_segment(data, plan)
+
+        assert overlapped.metrics.convergence_comparisons > 0
+        assert overlapped.metrics.convergence_check_cycles == 0
+        assert (
+            inline.metrics.convergence_comparisons
+            == overlapped.metrics.convergence_comparisons
+        )
+        assert inline.metrics.convergence_check_cycles == (
+            inline.metrics.convergence_comparisons
+            * timing.convergence_check_cycles
+        )
+        assert (
+            inline.metrics.context_switch_cycles
+            == overlapped.metrics.context_switch_cycles
+        )
+        assert inline.metrics.finish_cycles == (
+            overlapped.metrics.finish_cycles
+            + inline.metrics.convergence_check_cycles
+        )
+
     def test_active_flow_samples_monotone_under_deactivation(self):
         automaton = hub_automaton()
         scheduler, analysis = make_scheduler(automaton)
