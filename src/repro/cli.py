@@ -34,8 +34,13 @@ from repro.ap.sequential import run_sequential
 from repro.automata.anml import Automaton
 from repro.automata.anml_xml import automaton_from_anml_xml
 from repro.automata.serialization import loads as automaton_loads
-from repro.errors import ArtifactError, AutomatonError, ConfigurationError
-from repro.exec import BACKEND_NAMES, resolve_backend
+from repro.errors import (
+    ArtifactError,
+    AutomatonError,
+    ConfigurationError,
+    ReproError,
+)
+from repro.exec import BACKEND_NAMES, FaultPlan, RetryPolicy, resolve_backend
 from repro.lint import (
     FAMILIES,
     LintConfig,
@@ -93,6 +98,62 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    """Recovery/fault-injection flags shared by ``run`` and ``bench run``."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "re-executions allowed per segment after a retryable failure "
+            "(worker crash, dispatch timeout, transient error); "
+            "default 0 = fail fast"
+        ),
+    )
+    parser.add_argument(
+        "--segment-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-segment dispatch timeout on --backend process; a "
+            "segment exceeding it counts as a retryable failure and the "
+            "worker pool is recycled"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault plan for resilience testing, e.g. "
+            "'seed=7,rate=0.25,kinds=crash+transient' or "
+            "'2:transient,3:crash*2' (see repro.exec.faults); recovered "
+            "runs stay bit-exact in the cycle domain"
+        ),
+    )
+
+
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> tuple[RetryPolicy | None, FaultPlan | None]:
+    """Build the recovery policy and fault plan from CLI flags.
+
+    Raises :class:`ConfigurationError` on invalid values — the caller
+    maps that to a usage error (exit 2), same as bad backend flags.
+    """
+    retry = None
+    if args.retries or args.segment_timeout is not None:
+        retry = RetryPolicy(
+            max_retries=args.retries,
+            segment_timeout_s=args.segment_timeout,
+        )
+    faults = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
+    return retry, faults
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -143,6 +204,7 @@ def _run_summary(run, bench, args) -> dict:
         "golden_fallback": pap.golden_fallback,
         "reports_match": run.reports_match,
         "svc": pap.extra.get("svc", {}),
+        "health": pap.health,
     }
 
 
@@ -182,6 +244,25 @@ def _print_run_text(summary: dict) -> None:
             f"{svc.get('saves', 0)} saves, {svc.get('hits', 0)} hits, "
             f"{svc.get('misses', 0)} misses"
         )
+    health = summary.get("health", {})
+    if any(
+        health.get(key)
+        for key in (
+            "retries", "timeouts", "crashes", "faults_injected", "downgraded"
+        )
+    ):
+        line = (
+            f"resilience       : {health.get('retries', 0)} retries, "
+            f"{health.get('timeouts', 0)} timeouts, "
+            f"{health.get('crashes', 0)} crashes, "
+            f"{health.get('faults_injected', 0)} faults injected"
+        )
+        if health.get("downgraded"):
+            line += (
+                " [degraded to serial at segment "
+                f"{health.get('downgraded_at_segment')}]"
+            )
+        print(line)
     print(
         f"reports          : {summary['reports']} "
         f"(amplification {summary['event_amplification']:.2f}x, "
@@ -198,6 +279,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else DEFAULT_CONFIG
     )
     try:
+        retry, faults = _resilience_from_args(args)
         backend = resolve_backend(args.backend, workers=args.workers)
     except ConfigurationError as error:
         print(f"repro run: {error}", file=sys.stderr)
@@ -212,6 +294,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config=config,
             observer=tracer,
             backend=backend,
+            retry=retry,
+            faults=faults,
         )
     finally:
         backend.close()
@@ -283,6 +367,14 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     try:
         names = select_benchmarks(args.benchmarks)
     except ConfigurationError as error:
+        # A bad workload *name* is an operational failure (exit 1, like
+        # any other run that cannot produce an artifact), not a usage
+        # error: the flag was well-formed, the suite just lacks it.
+        print(f"repro bench run: {error}", file=sys.stderr)
+        return 1
+    try:
+        retry, faults = _resilience_from_args(args)
+    except ConfigurationError as error:
         print(f"repro bench run: {error}", file=sys.stderr)
         return 2
     try:
@@ -299,6 +391,8 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             use_fiv=not args.no_fiv,
+            retry=retry,
+            faults=faults,
             progress=lambda line: print(line, file=sys.stderr),
         )
     except ConfigurationError as error:
@@ -544,6 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the aggregated text profile after the summary",
     )
     _add_backend(run_parser)
+    _add_resilience(run_parser)
     _add_common(run_parser)
 
     trace_parser = commands.add_parser(
@@ -630,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "markdown", "json"), default="text"
     )
     _add_backend(bench_run)
+    _add_resilience(bench_run)
     _add_common(bench_run)
 
     bench_compare = bench_commands.add_parser(
@@ -775,6 +871,13 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0
+    except ReproError as error:
+        # Operational failures (execution errors, lint gate rejections,
+        # exhausted retries, ...) exit 1 with a one-line message; a
+        # traceback is for repro bugs, not for runs that legitimately
+        # failed.  Exit 2 stays reserved for usage errors.
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

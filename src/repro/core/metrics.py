@@ -49,6 +49,13 @@ class PAPRunResult:
     def num_segments(self) -> int:
         return len(self.plans)
 
+    @property
+    def health(self) -> dict:
+        """Recovery record for this run (``extra["health"]``): attempt
+        counts, retries, timeouts, crashes, injected faults, and any
+        serial downgrade.  Empty when the run predates health tracking."""
+        return self.extra.get("health", {})
+
     # -- aggregates across segments ----------------------------------------
 
     @property

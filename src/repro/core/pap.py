@@ -38,6 +38,12 @@ from repro.core.ranges import (
 )
 from repro.core.scheduler import SegmentPlan, SegmentResult
 from repro.exec.backend import ExecutionBackend, ExecutionContext, resolve_backend
+from repro.exec.faults import FaultInjector, FaultPlan
+from repro.exec.resilience import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RunHealth,
+)
 from repro.host.reporting import report_processing_cycles
 from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, TRACK_RUN, Observer
 
@@ -241,6 +247,8 @@ class ParallelAutomataProcessor:
         *,
         backend: ExecutionBackend | str | None = None,
         workers: int | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> PAPRunResult:
         """Execute the full PAP pipeline over ``data``.
 
@@ -252,6 +260,16 @@ class ParallelAutomataProcessor:
         *instance* is reused as-is (its pool survives for the caller to
         close); a name constructs a one-shot backend closed before
         returning.
+
+        ``retry`` governs recovery from segment failures (worker
+        crashes, dispatch timeouts, transient errors); the default is
+        fail-fast, matching the previous behaviour.  ``faults`` injects
+        deterministic failures for resilience testing (see
+        :mod:`repro.exec.faults`).  Because segment execution is
+        deterministic in the cycle domain, any recovered run — retried,
+        timed out and re-dispatched, or degraded to serial execution —
+        returns bit-identical reports and cycle metrics; what actually
+        happened is recorded in ``result.extra["health"]``.
 
         Timing follows Section 3.4: the host decode of segment ``j``'s
         final state vector (``T_cpu``) sits on a serial availability
@@ -272,6 +290,8 @@ class ParallelAutomataProcessor:
         plan = self.plan(data)
         owns_backend = not isinstance(backend, ExecutionBackend)
         resolved = resolve_backend(backend, workers=workers)
+        health = RunHealth()
+        injector = FaultInjector(faults) if faults is not None else None
         ctx = ExecutionContext(
             automaton=self.automaton,
             compiled=self.compiled,
@@ -279,12 +299,17 @@ class ParallelAutomataProcessor:
             config=self.config,
             path_independent=self.path_independent,
             observer=obs,
+            retry=retry if retry is not None else DEFAULT_RETRY_POLICY,
+            injector=injector,
+            health=health,
         )
         try:
             outcomes = resolved.execute(ctx, data, plan.segments)
         finally:
             if owns_backend:
                 resolved.close()
+            if injector is not None:
+                health.injected = list(injector.injected)
 
         segment_results = [outcome.result for outcome in outcomes]
         composed_segments = [outcome.composed for outcome in outcomes]
@@ -381,5 +406,5 @@ class ParallelAutomataProcessor:
                 > self.config.max_flows
             ),
             input_bytes=len(data),
-            extra={"svc": svc_totals},
+            extra={"svc": svc_totals, "health": health.to_dict()},
         )

@@ -63,6 +63,50 @@ class ExecutionError(ReproError):
     """Runtime failure of the functional automata executor."""
 
 
+class TransientSegmentError(ExecutionError):
+    """A transient, retryable failure of one segment's execution.
+
+    Raised for failures that a bit-exact re-execution is expected to
+    clear: injected transient faults, SVC slot exhaustion, FIV-write
+    failures.  ``kind`` names the failure family (see
+    :mod:`repro.exec.faults`); ``segment`` is the failing segment index.
+    The custom ``__reduce__`` keeps both attributes intact across the
+    process-pool pickle boundary.
+    """
+
+    def __init__(
+        self, message: str, *, kind: str = "transient", segment: int = -1
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.segment = segment
+
+    def __reduce__(self):  # type: ignore[override]
+        return (
+            self.__class__,
+            (self.args[0],),
+            {"kind": self.kind, "segment": self.segment},
+        )
+
+
+class SegmentTimeoutError(ExecutionError):
+    """A segment's dispatch exceeded the per-segment timeout (retryable)."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died while executing a segment (retryable).
+
+    On the process backend this wraps ``BrokenProcessPool``; the serial
+    backend raises it inline to *model* a crash under fault injection.
+    """
+
+
+#: Failure families the recovery policy may re-execute: the segment's
+#: cycle-domain outcome is deterministic, so a retry is bit-exact and
+#: recovery is verifiable (the AP's deterministic cycle model).
+RETRYABLE_ERRORS = (TransientSegmentError, SegmentTimeoutError, WorkerCrashError)
+
+
 class ArtifactError(ReproError):
     """A benchmark artifact (``BENCH_*.json``) is missing, malformed,
     or carries an unsupported schema version."""

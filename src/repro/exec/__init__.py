@@ -1,8 +1,10 @@
 """Execution backends: serial and host-parallel segment execution.
 
 See :mod:`repro.exec.backend` for the backend contract (dispatch and
-dependency rules, bit-exactness) and :mod:`repro.exec.worker` for the
-spawn-safe worker protocol.
+dependency rules, bit-exactness), :mod:`repro.exec.worker` for the
+spawn-safe worker protocol, :mod:`repro.exec.faults` for deterministic
+fault injection, and :mod:`repro.exec.resilience` for the retry/backoff
+policy and run-health accounting.
 """
 
 from repro.exec.backend import (
@@ -15,12 +17,30 @@ from repro.exec.backend import (
     TRACK_EXEC,
     resolve_backend,
 )
+from repro.exec.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.exec.resilience import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RunHealth,
+)
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_RETRY_POLICY",
     "ExecutionBackend",
     "ExecutionContext",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "ProcessPoolBackend",
+    "RetryPolicy",
+    "RunHealth",
     "SegmentOutcome",
     "SerialBackend",
     "TRACK_EXEC",

@@ -26,11 +26,22 @@ segment execution buys.  This module extracts that choice behind
       availability chain — each segment is dispatched the moment its
       inputs resolve.
 
+Distributed execution made segments *fallible*, so both backends wrap
+each segment in the :mod:`repro.exec.resilience` recovery driver: a
+failed attempt (worker crash, dispatch timeout, transient error —
+injected or real) is re-executed under the run's
+:class:`~repro.exec.resilience.RetryPolicy`, and after
+``downgrade_after`` consecutive process-backend failures the process
+backend *degrades gracefully* to in-process execution for the
+remaining segments instead of failing the run.  Re-dispatch is ordered:
+a retried segment re-enters the Section 3.4 availability chain with
+the same composed-predecessor inputs, so recovery is bit-exact.
+
 **Bit-exactness contract**: for any automaton, input, and configuration,
-every backend produces identical cycle-domain ``SegmentResult`` metrics,
-identical composition outcomes, and identical report sets.  Backends
-change *host wall-clock* only; the property-based equivalence tests in
-``tests/exec/`` pin this.
+every backend — including any recovered or degraded run — produces
+identical cycle-domain ``SegmentResult`` metrics, identical composition
+outcomes, and identical report sets.  Backends change *host wall-clock*
+only; the property-based equivalence tests in ``tests/exec/`` pin this.
 
 Host-side composition (truth decisions, ``T_cpu`` decode accounting)
 always runs in the parent process — it is the host's job in the paper,
@@ -41,9 +52,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton
@@ -55,13 +67,25 @@ from repro.core.composition import (
 )
 from repro.core.config import PAPConfig
 from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
-from repro.errors import ConfigurationError, ExecutionError, ReproError
+from repro.errors import (
+    ConfigurationError,
+    ExecutionError,
+    RETRYABLE_ERRORS,
+    ReproError,
+    SegmentTimeoutError,
+    WorkerCrashError,
+)
+from repro.exec.faults import HOST_KINDS, FaultInjector, raise_fault
+from repro.exec.resilience import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RunHealth,
+    TRACK_EXEC,
+    run_with_retry,
+)
 from repro.exec.worker import RunPayload, run_segment_task
 from repro.host.decode import false_path_decode_cycles
 from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, Observer
-
-#: Track name for backend dispatch spans in :mod:`repro.obs` traces.
-TRACK_EXEC = "exec"
 
 #: The spellable backend names accepted by :func:`resolve_backend` (and
 #: the CLI's ``--backend`` flag).
@@ -78,6 +102,9 @@ class ExecutionContext:
     config: PAPConfig
     path_independent: frozenset[int]
     observer: Observer = NULL_OBSERVER
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    injector: FaultInjector | None = None
+    health: RunHealth = field(default_factory=RunHealth)
 
 
 @dataclass(frozen=True)
@@ -89,6 +116,25 @@ class SegmentOutcome:
     decode_cycles: int
     """``T_cpu`` for this segment (Figure 11), charged on the
     availability chain by the orchestrator when actually consumed."""
+
+
+def _draw_fault(
+    ctx: ExecutionContext, index: int, *, infrastructure: bool = True
+) -> str | None:
+    """One fault draw for this segment's next attempt (None = clean)."""
+    if ctx.injector is None:
+        return None
+    kind = ctx.injector.draw(index, infrastructure=infrastructure)
+    if kind is not None:
+        obs = ctx.observer
+        obs.metrics.counter("exec.faults_injected").inc()
+        if obs.enabled:
+            obs.instant(
+                "fault-injected",
+                track=TRACK_EXEC,
+                args={"segment": index, "kind": kind},
+            )
+    return kind
 
 
 class ExecutionBackend:
@@ -170,7 +216,14 @@ class ExecutionBackend:
 class SerialBackend(ExecutionBackend):
     """The original in-process behaviour, extracted verbatim from
     ``ParallelAutomataProcessor.run``: one scheduler, segments executed
-    in index order, composition interleaved segment to segment."""
+    in index order, composition interleaved segment to segment.
+
+    Recovery: retryable failures (which in-process means injected
+    faults modeled as their matching errors — a single process can only
+    *model* worker crashes and hangs) re-execute the segment under the
+    run's :class:`~repro.exec.resilience.RetryPolicy`.  Re-execution is
+    deterministic, so a recovered run is bit-exact.
+    """
 
     name = "serial"
 
@@ -197,13 +250,27 @@ class SerialBackend(ExecutionBackend):
             truth, fiv_time = self._segment_inputs(
                 ctx, plan, previous_matched, fiv_chain
             )
-            obs.metrics.counter("exec.dispatches").inc()
-            if plan.is_golden:
-                result = scheduler.run_segment(data, plan)
-            else:
-                result = scheduler.run_segment(
+            index = plan.segment.index
+
+            def attempt(
+                plan: SegmentPlan = plan,
+                truth: dict[int, bool] = truth,
+                fiv_time: int | None = fiv_time,
+                index: int = index,
+            ) -> SegmentResult:
+                fault = _draw_fault(ctx, index)
+                if fault is not None:
+                    raise_fault(fault, index)
+                obs.metrics.counter("exec.dispatches").inc()
+                if plan.is_golden:
+                    return scheduler.run_segment(data, plan)
+                return scheduler.run_segment(
                     data, plan, unit_truth=truth, fiv_time=fiv_time
                 )
+
+            result = run_with_retry(
+                ctx.retry, ctx.health, obs, index, attempt
+            )
             outcome = self._compose(ctx, result, truth)
             fiv_chain = (
                 max(fiv_chain, result.metrics.finish_cycles)
@@ -212,6 +279,97 @@ class SerialBackend(ExecutionBackend):
             previous_matched = outcome.composed.final_matched
             outcomes.append(outcome)
         return outcomes
+
+
+class _RecoveryState:
+    """Per-run degradation tracking for :class:`ProcessPoolBackend`.
+
+    Counts *consecutive* failed dispatch attempts across the run; when
+    they reach the policy's ``downgrade_after``, the run degrades to
+    in-process execution for every remaining attempt and segment — the
+    worker pool is torn down and a lazily built local scheduler takes
+    over, so the run finishes instead of failing.
+    """
+
+    def __init__(
+        self, backend: "ProcessPoolBackend", ctx: ExecutionContext, data: bytes
+    ) -> None:
+        self.backend = backend
+        self.ctx = ctx
+        self.data = data
+        self.consecutive = 0
+        self.downgraded = False
+        self._scheduler: SegmentScheduler | None = None
+
+    def scheduler(self) -> SegmentScheduler:
+        if self._scheduler is None:
+            ctx = self.ctx
+            self._scheduler = SegmentScheduler(
+                ctx.compiled,
+                ctx.analysis,
+                ctx.config,
+                ctx.path_independent,
+                observer=ctx.observer,
+            )
+        return self._scheduler
+
+    def run_inline(
+        self,
+        plan: SegmentPlan,
+        truth: dict[int, bool] | None,
+        fiv_time: int | None,
+    ) -> SegmentResult:
+        """One post-downgrade in-process attempt (serial semantics).
+
+        Worker-level faults (crash, hang) no longer apply — there are
+        no workers — but segment-level faults still fire, and the
+        enclosing retry loop still recovers them.
+        """
+        ctx = self.ctx
+        index = plan.segment.index
+        fault = _draw_fault(ctx, index, infrastructure=False)
+        if fault is not None:
+            raise_fault(fault, index)
+        ctx.observer.metrics.counter("exec.dispatches").inc()
+        if plan.is_golden:
+            return self.scheduler().run_segment(self.data, plan)
+        return self.scheduler().run_segment(
+            self.data, plan, unit_truth=truth, fiv_time=fiv_time
+        )
+
+    def note_failure(self, plan: SegmentPlan, error: BaseException) -> None:
+        self.consecutive += 1
+        ctx = self.ctx
+        limit = ctx.retry.downgrade_after
+        if self.downgraded or limit is None or self.consecutive < limit:
+            return
+        self.downgraded = True
+        health = ctx.health
+        health.downgraded = True
+        health.downgraded_at_segment = plan.segment.index
+        health.downgrade_reason = (
+            f"{self.consecutive} consecutive process-backend failures "
+            f"(last: {type(error).__name__})"
+        )
+        obs = ctx.observer
+        obs.metrics.counter("exec.downgrades").inc()
+        if obs.enabled:
+            obs.instant(
+                "backend-downgrade",
+                track=TRACK_EXEC,
+                args={
+                    "segment": plan.segment.index,
+                    "consecutive_failures": self.consecutive,
+                    "error": type(error).__name__,
+                },
+            )
+            obs.metrics.gauge("exec.workers").set(1)
+        # Workers are no longer needed; reclaim them without waiting on
+        # whatever broke them.
+        self.backend._teardown(wait=False)
+
+    def note_success(self) -> None:
+        self.consecutive = 0
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -231,6 +389,14 @@ class ProcessPoolBackend(ExecutionBackend):
     warmup pass through :func:`repro.perf.measure.measure_wall` therefore
     also warms the pool), so callers owning a backend instance should
     :meth:`close` it — or use it as a context manager — when done.
+
+    Recovery: a broken pool (worker crash) or a tripped per-segment
+    dispatch timeout tears the executor down *without waiting* (a hung
+    worker cannot be joined) and the next dispatch — a retry of the
+    failed segment or a later run on the same backend instance —
+    lazily rebuilds a fresh pool.  After ``downgrade_after`` consecutive
+    failures the run degrades to in-process execution for the remaining
+    segments (see :class:`_RecoveryState`).
     """
 
     name = "process"
@@ -255,10 +421,19 @@ class ProcessPoolBackend(ExecutionBackend):
             )
         return self._executor
 
-    def close(self) -> None:
+    def _teardown(self, *, wait: bool) -> None:
+        """Discard the executor; the next :meth:`_pool` call rebuilds it.
+
+        ``wait=False`` is mandatory on breakage/timeout paths: a broken
+        or hung pool may never join, and a blocking shutdown would turn
+        one lost worker into a lost run.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor.shutdown(wait=wait, cancel_futures=True)
             self._executor = None
+
+    def close(self) -> None:
+        self._teardown(wait=True)
 
     # -- dispatch ---------------------------------------------------------
 
@@ -270,26 +445,43 @@ class ProcessPoolBackend(ExecutionBackend):
         plan: SegmentPlan,
         truth: dict[int, bool] | None,
         fiv_time: int | None,
+        fault: str | None = None,
     ) -> tuple[Future, int]:
+        index = plan.segment.index
+        if fault is not None and fault in HOST_KINDS:
+            # Host-side faults (FIV-write failure) happen before any
+            # dispatch: the FIV never reaches the segment.
+            raise_fault(fault, index)
         obs = ctx.observer
         obs.metrics.counter("exec.dispatches").inc()
         span = obs.begin_span(
-            f"dispatch[{plan.segment.index}]",
+            f"dispatch[{index}]",
             track=TRACK_EXEC,
             args={
                 "kind": "golden" if plan.is_golden else "enumerated",
                 "flows": len(plan.flows),
             },
         )
+        worker_fault = (
+            (fault, ctx.injector.plan.hang_s)
+            if fault is not None and ctx.injector is not None
+            else None
+        )
         try:
             future = self._pool().submit(
-                run_segment_task, token, payload, plan, truth, fiv_time
+                run_segment_task,
+                token,
+                payload,
+                plan,
+                truth,
+                fiv_time,
+                worker_fault,
             )
         except BrokenProcessPool as error:
-            self.close()
-            raise ExecutionError(
-                "process backend could not dispatch segment "
-                f"{plan.segment.index}: worker pool is broken ({error})"
+            self._teardown(wait=False)
+            raise WorkerCrashError(
+                f"process backend could not dispatch segment {index}: "
+                f"worker pool is broken ({error})"
             ) from error
         return future, span
 
@@ -302,14 +494,23 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> SegmentResult:
         obs = ctx.observer
         index = plan.segment.index
+        timeout = ctx.retry.segment_timeout_s
         try:
-            task_result = future.result()
-        except BrokenProcessPool as error:
-            self.close()
-            raise ExecutionError(
+            task_result = future.result(timeout=timeout)
+        except FuturesTimeoutError as error:
+            # The worker may be genuinely hung; it cannot be reclaimed,
+            # so recycle the whole pool and let any retry start fresh.
+            future.cancel()
+            self._teardown(wait=False)
+            raise SegmentTimeoutError(
+                f"segment {index} exceeded the {timeout:g}s dispatch "
+                "timeout; worker pool recycled"
+            ) from error
+        except (BrokenProcessPool, CancelledError) as error:
+            self._teardown(wait=False)
+            raise WorkerCrashError(
                 f"process backend worker died while executing segment "
-                f"{index} (pool broken: {error}); the run cannot be "
-                "composed — rerun with backend='serial' to bisect"
+                f"{index} (pool broken: {error})"
             ) from error
         except ReproError:
             raise
@@ -346,22 +547,48 @@ class ProcessPoolBackend(ExecutionBackend):
             path_independent=ctx.path_independent,
             data=data,
         )
+        state = _RecoveryState(self, ctx, data)
         outcomes: list[SegmentOutcome] = []
         previous_matched: frozenset[int] = frozenset()
         if ctx.config.use_fiv:
             # Section 3.4 availability chain: segment j+1's FIV inputs
             # need segment j's composed result, so dispatch pipelines
             # along the chain — each segment enters the pool the moment
-            # its inputs resolve.
+            # its inputs resolve.  A retried segment re-enters the chain
+            # with the same composed-predecessor inputs (ordered
+            # re-dispatch), so recovery is bit-exact.
             fiv_chain = 0
             for plan in plans:
                 truth, fiv_time = self._segment_inputs(
                     ctx, plan, previous_matched, fiv_chain
                 )
-                future, span = self._submit(
-                    ctx, token, payload, plan, truth, fiv_time
+                index = plan.segment.index
+
+                def attempt(
+                    plan: SegmentPlan = plan,
+                    truth: dict[int, bool] = truth,
+                    fiv_time: int | None = fiv_time,
+                    index: int = index,
+                ) -> SegmentResult:
+                    if state.downgraded:
+                        return state.run_inline(plan, truth, fiv_time)
+                    fault = _draw_fault(ctx, index)
+                    future, span = self._submit(
+                        ctx, token, payload, plan, truth, fiv_time, fault
+                    )
+                    return self._collect(ctx, future, span, plan)
+
+                result = run_with_retry(
+                    ctx.retry,
+                    ctx.health,
+                    obs,
+                    index,
+                    attempt,
+                    on_failure=lambda error, plan=plan: state.note_failure(
+                        plan, error
+                    ),
                 )
-                result = self._collect(ctx, future, span, plan)
+                state.note_success()
                 outcome = self._compose(ctx, result, truth)
                 fiv_chain = (
                     max(fiv_chain, result.metrics.finish_cycles)
@@ -372,15 +599,54 @@ class ProcessPoolBackend(ExecutionBackend):
             return outcomes
         # Without the FIV no segment's *execution* depends on another —
         # enumeration truth only matters at composition time — so every
-        # segment runs concurrently and composition chains afterwards.
-        pending = [
-            self._submit(ctx, token, payload, plan, None, None)
-            for plan in plans
-        ]
-        results = [
-            self._collect(ctx, future, span, plan)
-            for (future, span), plan in zip(pending, plans)
-        ]
+        # segment's first attempt is dispatched at once and composition
+        # chains afterwards.  Failures re-enter the retry loop one
+        # segment at a time and re-dispatch on a rebuilt pool.
+        prefetched: dict[int, tuple[Future, int] | BaseException] = {}
+        for plan in plans:
+            index = plan.segment.index
+            try:
+                fault = _draw_fault(ctx, index)
+                prefetched[index] = self._submit(
+                    ctx, token, payload, plan, None, None, fault
+                )
+            except RETRYABLE_ERRORS as error:
+                # Surfaces as this segment's attempt-1 failure when its
+                # turn to collect comes.
+                prefetched[index] = error
+        results: list[SegmentResult] = []
+        for plan in plans:
+            index = plan.segment.index
+
+            def attempt(
+                plan: SegmentPlan = plan, index: int = index
+            ) -> SegmentResult:
+                entry = prefetched.pop(index, None)
+                if isinstance(entry, BaseException):
+                    raise entry
+                if entry is not None:
+                    future, span = entry
+                    return self._collect(ctx, future, span, plan)
+                if state.downgraded:
+                    return state.run_inline(plan, None, None)
+                fault = _draw_fault(ctx, index)
+                future, span = self._submit(
+                    ctx, token, payload, plan, None, None, fault
+                )
+                return self._collect(ctx, future, span, plan)
+
+            result = run_with_retry(
+                ctx.retry,
+                ctx.health,
+                obs,
+                index,
+                attempt,
+                on_failure=lambda error, plan=plan: state.note_failure(
+                    plan, error
+                ),
+            )
+            state.note_success()
+            results.append(result)
         for plan, result in zip(plans, results):
             truth = (
                 {}

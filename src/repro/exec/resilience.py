@@ -1,0 +1,224 @@
+"""Segment retry/backoff policy and run-health accounting.
+
+The recovery contract rests on the AP's deterministic cycle model: a
+segment's cycle-domain outcome depends only on (automaton, config,
+input, plan, FIV inputs), so re-executing a failed segment is *bit
+exact* — recovery can be verified against a fault-free run, not just
+hoped for.  :func:`run_with_retry` is the shared driver both backends
+wrap around one segment's execution attempts; :class:`RetryPolicy`
+bounds it (attempt budget, capped exponential backoff, wall deadline,
+per-segment dispatch timeout); :class:`RunHealth` records what
+actually happened so ``PAPRunResult.extra["health"]`` and the
+``exec.*`` metrics can surface it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import (
+    ConfigurationError,
+    ExecutionError,
+    RETRYABLE_ERRORS,
+    SegmentTimeoutError,
+    WorkerCrashError,
+)
+from repro.obs.tracer import Observer
+
+#: Track name for backend dispatch/recovery records in repro.obs traces.
+TRACK_EXEC = "exec"
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery policy for segment execution.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-executions allowed per segment after its first attempt
+        (``0`` — the default — preserves fail-fast behaviour).
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Capped exponential backoff: the sleep before retry ``n`` is
+        ``min(backoff_max_s, backoff_base_s * backoff_factor**(n-1))``.
+        Deterministic (no jitter): retried runs must stay reproducible.
+    deadline_s:
+        Wall-clock budget for one segment across all its attempts;
+        exceeded mid-recovery, the run fails even with retries left.
+    segment_timeout_s:
+        Per-dispatch timeout on the process backend.  A segment that
+        does not return in time counts as a timeout failure (the worker
+        pool is recycled, since a hung worker cannot be reclaimed).
+    downgrade_after:
+        Consecutive process-backend failures after which the run
+        gracefully degrades to in-process (serial) execution for the
+        remaining segments.  ``None`` disables degradation.
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    deadline_s: float | None = None
+    segment_timeout_s: float | None = None
+    downgrade_after: int | None = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff factor must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if self.segment_timeout_s is not None and self.segment_timeout_s <= 0:
+            raise ConfigurationError("segment timeout must be positive")
+        if self.downgrade_after is not None and self.downgrade_after < 1:
+            raise ConfigurationError("downgrade_after must be >= 1")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff slept after failed attempt number ``attempt``."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+
+
+#: Fail-fast: no retries, no timeout, no degradation — the pre-existing
+#: backend behaviour, and what ``pap.run`` uses when none is given.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class RunHealth:
+    """What the recovery machinery actually did during one run."""
+
+    attempts: dict[int, int] = field(default_factory=dict)
+    """Execution attempts per segment index (1 everywhere on a clean run)."""
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    injected: list[dict] = field(default_factory=list)
+    """Faults the injector fired: ``{"segment", "attempt", "kind"}``."""
+    downgraded: bool = False
+    downgrade_reason: str | None = None
+    downgraded_at_segment: int | None = None
+
+    def record_attempt(self, segment: int) -> None:
+        self.attempts[segment] = self.attempts.get(segment, 0) + 1
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(self.attempts.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when no recovery machinery fired at all."""
+        return not (
+            self.retries
+            or self.timeouts
+            or self.crashes
+            or self.injected
+            or self.downgraded
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view for ``PAPRunResult.extra["health"]``."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "downgraded": self.downgraded,
+            "downgrade_reason": self.downgrade_reason,
+            "downgraded_at_segment": self.downgraded_at_segment,
+            "faults_injected": len(self.injected),
+            "injected_faults": list(self.injected),
+            "attempts": {
+                str(segment): count
+                for segment, count in sorted(self.attempts.items())
+            },
+            "total_attempts": self.total_attempts,
+        }
+
+
+def run_with_retry(
+    policy: RetryPolicy,
+    health: RunHealth,
+    observer: Observer,
+    segment_index: int,
+    attempt_fn: Callable[[], T],
+    *,
+    on_failure: Callable[[BaseException], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> T:
+    """Drive one segment's execution attempts under ``policy``.
+
+    ``attempt_fn`` performs one full attempt (fault draw, dispatch,
+    collect) and either returns the :class:`SegmentResult` or raises.
+    Only :data:`~repro.errors.RETRYABLE_ERRORS` are retried — anything
+    else (lint failures, configuration errors, deterministic worker
+    bugs) propagates immediately.  When the attempt budget or the
+    deadline is exhausted, the last error is wrapped in an
+    :class:`~repro.errors.ExecutionError` naming the segment and the
+    attempt count.
+
+    ``on_failure`` fires on every retryable failure *before* the
+    exhaustion check — the process backend uses it to count consecutive
+    failures toward graceful degradation, so it must run even for the
+    failure that exhausts the budget.
+    """
+    start = clock()
+    attempt = 0
+    while True:
+        attempt += 1
+        health.record_attempt(segment_index)
+        try:
+            return attempt_fn()
+        except RETRYABLE_ERRORS as error:
+            if isinstance(error, SegmentTimeoutError):
+                health.timeouts += 1
+                observer.metrics.counter("exec.timeouts").inc()
+            elif isinstance(error, WorkerCrashError):
+                health.crashes += 1
+                observer.metrics.counter("exec.crashes").inc()
+            if on_failure is not None:
+                on_failure(error)
+            elapsed = clock() - start
+            over_deadline = (
+                policy.deadline_s is not None and elapsed >= policy.deadline_s
+            )
+            if attempt >= policy.max_attempts or over_deadline:
+                reason = (
+                    "deadline exceeded"
+                    if over_deadline and attempt < policy.max_attempts
+                    else "retries exhausted"
+                )
+                raise ExecutionError(
+                    f"segment {segment_index} failed after {attempt} "
+                    f"attempt(s) ({reason}): {error}"
+                ) from error
+            health.retries += 1
+            observer.metrics.counter("exec.retries").inc()
+            if observer.enabled:
+                observer.instant(
+                    "segment-retry",
+                    track=TRACK_EXEC,
+                    args={
+                        "segment": segment_index,
+                        "failed_attempt": attempt,
+                        "error": type(error).__name__,
+                    },
+                )
+            delay = policy.delay_s(attempt)
+            if delay > 0:
+                sleep(delay)

@@ -26,6 +26,7 @@ from repro.automata.anml import Automaton
 from repro.automata.execution import CompiledAutomaton
 from repro.core.config import PAPConfig
 from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
+from repro.exec.faults import CRASH, HANG, raise_fault
 
 #: Test hook: when set in the environment, every worker task hard-exits
 #: instead of running, simulating a crashed worker process.  Used by the
@@ -77,6 +78,7 @@ def run_segment_task(
     plan: SegmentPlan,
     unit_truth: dict[int, bool] | None,
     fiv_time: int | None,
+    fault: tuple[str, float] | None = None,
 ) -> SegmentTaskResult:
     """Execute one segment in this worker process.
 
@@ -84,9 +86,24 @@ def run_segment_task(
     :meth:`SegmentScheduler.run_segment` call in the parent: the
     scheduler is deterministic and the observer plays no part in the
     returned :class:`SegmentResult`.
+
+    ``fault`` is an injected ``(kind, hang_seconds)`` drawn by the
+    parent's :class:`~repro.exec.faults.FaultInjector` for *this*
+    attempt: ``crash`` hard-exits the process (breaking the pool, as a
+    real crash would), ``hang`` sleeps before executing (tripping the
+    parent's dispatch timeout), and every other kind raises its modeled
+    transient error back across the pool.
     """
     if os.environ.get(CRASH_ENV):
         os._exit(3)
+    if fault is not None:
+        kind, hang_s = fault
+        if kind == CRASH:
+            os._exit(3)
+        elif kind == HANG:
+            time.sleep(hang_s)
+        else:
+            raise_fault(kind, plan.segment.index)
     start = time.perf_counter_ns()
     scheduler = _scheduler_for(token, payload)
     result = scheduler.run_segment(

@@ -18,6 +18,8 @@ from typing import Callable
 from repro.core.config import DEFAULT_CONFIG
 from repro.errors import ConfigurationError
 from repro.exec.backend import ExecutionBackend, resolve_backend
+from repro.exec.faults import FaultPlan
+from repro.exec.resilience import RetryPolicy
 from repro.perf.artifact import BenchmarkRecord, PerfReport
 from repro.perf.measure import measure_wall
 from repro.sim.runner import run_benchmark
@@ -63,6 +65,8 @@ def run_bench_suite(
     backend: ExecutionBackend | str | None = None,
     workers: int | None = None,
     use_fiv: bool = True,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> PerfReport:
     """Run ``names`` and return the artifact-ready report.
@@ -79,6 +83,12 @@ def run_bench_suite(
     ``use_fiv=False`` disables the flow-invalidation vector, removing
     the cross-segment dispatch dependency so the process backend can run
     all segments concurrently (wall-parallel ablation).
+
+    ``retry``/``faults`` thread the recovery policy and fault plan into
+    every run (the chaos CI job injects worker crashes here).  They are
+    recorded in the artifact's ``parameters`` — which are never gated —
+    while ``cycles`` stay bit-exact under recovery, so a chaos artifact
+    compares clean against a fault-free baseline.
     """
     resolved = resolve_backend(backend, workers=workers)
     owns_backend = not isinstance(backend, ExecutionBackend)
@@ -99,6 +109,11 @@ def run_bench_suite(
             "workers": getattr(resolved, "workers", 1),
             "use_fiv": use_fiv,
             "benchmarks": list(names),
+            "retries": retry.max_retries if retry is not None else 0,
+            "segment_timeout_s": (
+                retry.segment_timeout_s if retry is not None else None
+            ),
+            "faults": faults.to_dict() if faults is not None else None,
         },
     )
     try:
@@ -118,6 +133,8 @@ def run_bench_suite(
                     trace_seed=seed + 1,
                     config=config,
                     backend=resolved,
+                    retry=retry,
+                    faults=faults,
                 ),
                 warmup=warmup,
                 repeats=repeats,

@@ -18,6 +18,8 @@ from repro.core.metrics import PAPRunResult
 from repro.core.pap import ParallelAutomataProcessor
 from repro.errors import ExecutionError
 from repro.exec.backend import ExecutionBackend
+from repro.exec.faults import FaultPlan
+from repro.exec.resilience import RetryPolicy
 from repro.obs.tracer import Observer, Tracer
 from repro.workloads.suite import BenchmarkInstance
 
@@ -118,6 +120,8 @@ def run_benchmark(
     verify_reports: bool = True,
     observer: Observer | None = None,
     backend: ExecutionBackend | str | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> BenchmarkRun:
     """Run one benchmark end to end and package the measurement.
 
@@ -138,6 +142,13 @@ def run_benchmark(
     :class:`BenchmarkRun`'s ``to_dict`` payload is bit-identical across
     backends.  Pass a backend *instance* to reuse one worker pool
     across repeated runs (the caller closes it).
+
+    ``retry`` and ``faults`` thread the recovery policy and fault plan
+    into :meth:`ParallelAutomataProcessor.run`; because recovered runs
+    are bit-exact in the cycle domain, the ``to_dict`` payload stays
+    identical under injected faults — which is exactly what the chaos
+    CI job asserts.  The recovery record lands in
+    ``run.pap.extra["health"]``.
     """
     board = BoardGeometry(ranks=ranks)
     timing = config.timing
@@ -152,7 +163,7 @@ def run_benchmark(
         config=config,
         half_cores=benchmark.half_cores,
         observer=observer,
-    ).run(data, backend=backend)
+    ).run(data, backend=backend, retry=retry, faults=faults)
 
     matches = pap.reports == baseline.reports
     if verify_reports and not matches:

@@ -1,0 +1,191 @@
+"""Fault-injection layer tests: plan parsing and validation, seeded
+determinism (the same plan fires the same faults at the same
+(segment, attempt) coordinates on every run), injector accounting, and
+the fault-to-error mapping."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    SegmentTimeoutError,
+    TransientSegmentError,
+    WorkerCrashError,
+)
+from repro.exec.faults import (
+    CRASH,
+    FAULT_KINDS,
+    FIV_WRITE,
+    HANG,
+    SVC_EXHAUSTION,
+    TRANSIENT,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    raise_fault,
+)
+
+
+class TestFaultSpec:
+    def test_valid(self):
+        spec = FaultSpec(segment=3, kind=CRASH, times=2)
+        assert (spec.segment, spec.kind, spec.times) == (3, CRASH, 2)
+
+    def test_unknown_kind_names_the_valid_ones(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            FaultSpec(segment=0, kind="meteor")
+        for kind in FAULT_KINDS:
+            assert kind in str(excinfo.value)
+
+    def test_negative_segment(self):
+        with pytest.raises(ConfigurationError, match="segment"):
+            FaultSpec(segment=-1, kind=TRANSIENT)
+
+    def test_zero_times(self):
+        with pytest.raises(ConfigurationError, match="times"):
+            FaultSpec(segment=0, kind=TRANSIENT, times=0)
+
+
+class TestFaultPlanParse:
+    def test_seeded_grammar(self):
+        plan = FaultPlan.parse("seed=7,rate=0.25,kinds=crash+transient")
+        assert plan.seed == 7
+        assert plan.rate == 0.25
+        assert plan.kinds == (CRASH, TRANSIENT)
+        assert plan.specs == ()
+
+    def test_explicit_grammar(self):
+        plan = FaultPlan.parse("2:transient,3:crash*2")
+        assert plan.specs == (
+            FaultSpec(segment=2, kind=TRANSIENT),
+            FaultSpec(segment=3, kind=CRASH, times=2),
+        )
+
+    def test_mixed_grammar_and_hang(self):
+        plan = FaultPlan.parse("seed=1,rate=0.1,1:fiv_write,hang=0.5")
+        assert plan.seed == 1
+        assert plan.hang_s == 0.5
+        assert plan.specs == (FaultSpec(segment=1, kind=FIV_WRITE),)
+
+    def test_rate_without_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultPlan.parse("rate=0.5")
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("seed=1,rate=1.5")
+
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="unknown fault-plan"):
+            FaultPlan.parse("tempo=3")
+
+    def test_malformed_token(self):
+        with pytest.raises(ConfigurationError, match="bad fault token"):
+            FaultPlan.parse("justwords")
+
+    def test_non_numeric_values(self):
+        with pytest.raises(ConfigurationError, match="bad fault plan"):
+            FaultPlan.parse("seed=many")
+
+    def test_roundtrip_to_dict(self):
+        plan = FaultPlan.parse("seed=7,rate=0.25,kinds=crash,2:transient")
+        payload = plan.to_dict()
+        assert payload["seed"] == 7
+        assert payload["rate"] == 0.25
+        assert payload["specs"] == [
+            {"segment": 2, "kind": TRANSIENT, "times": 1}
+        ]
+
+
+class TestDeterminism:
+    def test_seeded_draws_are_reproducible(self):
+        """The same plan yields the same fault at every (segment,
+        attempt) coordinate — across injector instances, i.e. across
+        runs."""
+        plan = FaultPlan(seed=13, rate=0.4, kinds=(CRASH, TRANSIENT, HANG))
+        first = [plan.fault_at(segment, 1) for segment in range(64)]
+        second = [plan.fault_at(segment, 1) for segment in range(64)]
+        assert first == second
+        assert any(first), "rate=0.4 over 64 segments must fire somewhere"
+        assert not all(first), "rate=0.4 must also leave segments clean"
+
+    def test_seeded_faults_fire_only_on_first_attempt(self):
+        plan = FaultPlan(seed=13, rate=1.0)
+        assert plan.fault_at(5, 1) == TRANSIENT
+        assert plan.fault_at(5, 2) is None
+
+    def test_explicit_spec_fires_for_first_n_attempts(self):
+        plan = FaultPlan(specs=(FaultSpec(segment=2, kind=CRASH, times=2),))
+        assert plan.fault_at(2, 1) == CRASH
+        assert plan.fault_at(2, 2) == CRASH
+        assert plan.fault_at(2, 3) is None
+        assert plan.fault_at(1, 1) is None
+
+    def test_different_seeds_differ(self):
+        draws = {
+            seed: tuple(
+                FaultPlan(seed=seed, rate=0.5).fault_at(segment, 1)
+                for segment in range(32)
+            )
+            for seed in (1, 2, 3)
+        }
+        assert len(set(draws.values())) > 1
+
+
+class TestFaultInjector:
+    def test_counts_attempts_and_records_injections(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(segment=1, kind=TRANSIENT, times=2),))
+        )
+        assert injector.draw(1) == TRANSIENT
+        assert injector.draw(1) == TRANSIENT
+        assert injector.draw(1) is None
+        assert injector.draw(0) is None
+        assert injector.injected == [
+            {"segment": 1, "attempt": 1, "kind": TRANSIENT},
+            {"segment": 1, "attempt": 2, "kind": TRANSIENT},
+        ]
+
+    def test_worker_kinds_suppressed_after_downgrade(self):
+        """Once a run degrades to in-process execution there are no
+        workers left to crash or hang: infrastructure faults stop
+        firing, segment-level faults keep firing."""
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(segment=1, kind=CRASH, times=9),
+                    FaultSpec(segment=2, kind=TRANSIENT, times=9),
+                )
+            )
+        )
+        assert injector.draw(1, infrastructure=False) is None
+        assert injector.draw(2, infrastructure=False) == TRANSIENT
+        assert injector.draw(1, infrastructure=True) == CRASH
+
+
+class TestRaiseFault:
+    @pytest.mark.parametrize(
+        ("kind", "expected"),
+        [
+            (CRASH, WorkerCrashError),
+            (HANG, SegmentTimeoutError),
+            (TRANSIENT, TransientSegmentError),
+            (SVC_EXHAUSTION, TransientSegmentError),
+            (FIV_WRITE, TransientSegmentError),
+        ],
+    )
+    def test_kind_maps_to_modeled_error(self, kind, expected):
+        with pytest.raises(expected, match="segment 7"):
+            raise_fault(kind, 7)
+
+    def test_transient_error_survives_pickling(self):
+        """The segment/kind attributes must cross the process-pool
+        pickle boundary intact."""
+        import pickle
+
+        try:
+            raise_fault(SVC_EXHAUSTION, 4)
+        except TransientSegmentError as error:
+            clone = pickle.loads(pickle.dumps(error))
+            assert clone.kind == SVC_EXHAUSTION
+            assert clone.segment == 4
+            assert str(clone) == str(error)

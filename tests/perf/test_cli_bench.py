@@ -67,7 +67,9 @@ class TestBenchRun:
         assert record["cycles"]["reports_match"] is True
         assert record["wall"]["repeats"] == 1
 
-    def test_unknown_benchmark_is_usage_error(self, tmp_path, capsys):
+    def test_unknown_benchmark_is_operational_error(self, tmp_path, capsys):
+        """A bad workload name exits 1 with a one-line message (the flag
+        itself was well-formed, so it is not a usage error)."""
         code = main(
             [
                 "bench",
@@ -78,8 +80,24 @@ class TestBenchRun:
                 str(tmp_path / "x.json"),
             ]
         )
-        assert code == 2
+        assert code == 1
         assert "NotABenchmark" in capsys.readouterr().err
+
+    def test_bad_fault_spec_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "run",
+                "--benchmarks",
+                "Bro217",
+                "--inject-faults",
+                "rate=0.5",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        assert "seed" in capsys.readouterr().err
 
     def test_env_subset_selected(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_BENCH_ONLY", "Bro217")
