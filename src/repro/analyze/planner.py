@@ -1,0 +1,317 @@
+"""Constructive capacity planning: budgets first, diagnostics second.
+
+The AP201–AP208 capacity rules *check* a placement after the fact; this
+module *constructs* one that satisfies them.  Components are bin-packed
+first-fit-decreasing into half-cores under two per-bin budgets — STE
+capacity (AP201/AP202) and the routing-pressure proxy (AP207) — then
+the whole-replica budgets (output regions AP204, counters AP205,
+booleans AP206) and board-level feasibility (AP202/AP203) are evaluated
+against the resulting footprint.  The emitted
+:class:`~repro.ap.placement.Placement` is consumed directly by
+:func:`repro.core.deployment.deploy_plan`, which is the seam ROADMAP
+item 4's sharded fleet builds on: a fleet scheduler can hand each
+workload a pre-validated placement instead of letting deployment
+re-pack.
+
+``CapacityPlan.violations`` carries any budget the construction could
+*not* satisfy (an over-capacity component, a replica larger than the
+board...), so callers get a complete bill of materials rather than the
+first exception.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.ap.geometry import (
+    BOOLEAN_ELEMENTS_PER_DEVICE,
+    COUNTERS_PER_DEVICE,
+    OUTPUT_REGIONS_PER_DEVICE,
+    REPORTING_ELEMENTS_PER_REGION,
+    BoardGeometry,
+)
+from repro.ap.placement import Placement, segments_available
+from repro.automata.analysis import AutomatonAnalysis
+from repro.automata.anml import Automaton
+
+
+@dataclass(frozen=True)
+class HalfCoreBin:
+    """One half-core's planned load."""
+
+    index: int
+    components: tuple[int, ...]
+    states: int
+    edges: int
+
+    def utilization(self, capacity: int) -> float:
+        return self.states / capacity if capacity else 0.0
+
+
+@dataclass(frozen=True)
+class PlanViolation:
+    """One budget the construction could not satisfy."""
+
+    code: str
+    """The capacity-rule code the violation corresponds to."""
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """A constructed placement plus its resource bill."""
+
+    automaton: str
+    geometry: BoardGeometry
+    bins: tuple[HalfCoreBin, ...]
+    assignment: dict[int, int]
+    reporting_used: int
+    reporting_budget: int
+    counters_used: int
+    counters_budget: int
+    booleans_used: int
+    booleans_budget: int
+    segments: int
+    violations: tuple[PlanViolation, ...]
+
+    @property
+    def half_cores(self) -> int:
+        return len(self.bins)
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_states(self) -> int:
+        return sum(b.states for b in self.bins)
+
+    def utilization(self) -> float:
+        capacity = self.geometry.stes_per_half_core
+        if not self.bins:
+            return 0.0
+        return self.total_states / (len(self.bins) * capacity)
+
+    def to_placement(self) -> Placement:
+        """The placement ``deploy_plan`` consumes."""
+        return Placement(
+            half_cores=len(self.bins),
+            assignment=dict(self.assignment),
+            loads=tuple(b.states for b in self.bins),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "automaton": self.automaton,
+            "half_cores": self.half_cores,
+            "segments": self.segments,
+            "feasible": self.feasible,
+            "utilization": round(self.utilization(), 4),
+            "bins": [
+                {
+                    "index": b.index,
+                    "components": list(b.components),
+                    "states": b.states,
+                    "edges": b.edges,
+                }
+                for b in self.bins
+            ],
+            "reporting": {
+                "used": self.reporting_used,
+                "budget": self.reporting_budget,
+            },
+            "counters": {
+                "used": self.counters_used,
+                "budget": self.counters_budget,
+            },
+            "booleans": {
+                "used": self.booleans_used,
+                "budget": self.booleans_budget,
+            },
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _component_edges(
+    automaton: Automaton, analysis: AutomatonAnalysis
+) -> dict[int, int]:
+    component_of = analysis.component_index()
+    edges: dict[int, int] = {}
+    for src, _dst in automaton.edges():
+        cid = component_of[src]
+        edges[cid] = edges.get(cid, 0) + 1
+    return edges
+
+
+def plan_capacity(
+    automaton: Automaton,
+    *,
+    geometry: BoardGeometry | None = None,
+    analysis: AutomatonAnalysis | None = None,
+    counters_used: int = 0,
+    booleans_used: int = 0,
+    routing_edge_factor: float = 1.0,
+) -> CapacityPlan:
+    """Construct a budget-respecting placement for one FSM replica.
+
+    First-fit-decreasing over components ordered by STE count, with a
+    bin admitting a component only while both the STE capacity and the
+    routing-pressure proxy (``routing_edge_factor`` x capacity
+    programmed edges) hold — so AP201/AP207 findings are impossible on
+    the result by construction.  Replica-level budgets that packing
+    cannot trade off (a component too big for any bin, reporting or
+    counter overflow, a replica wider than the board) are recorded as
+    :class:`PlanViolation` entries keyed by the corresponding rule code.
+    """
+    geometry = geometry or BoardGeometry()
+    analysis = analysis or AutomatonAnalysis(automaton)
+    capacity = geometry.stes_per_half_core
+    edge_limit = int(capacity * routing_edge_factor)
+    components = analysis.connected_components()
+    edges = _component_edges(automaton, analysis)
+
+    violations: list[PlanViolation] = []
+    sized = sorted(
+        ((len(members), cid) for cid, members in enumerate(components)),
+        reverse=True,
+    )
+    bin_components: list[list[int]] = []
+    bin_states: list[int] = []
+    bin_edges: list[int] = []
+    assignment: dict[int, int] = {}
+    for size, cid in sized:
+        cid_edges = edges.get(cid, 0)
+        if size > capacity:
+            violations.append(
+                PlanViolation(
+                    code="AP201",
+                    message=(
+                        f"connected component {cid} has {size} states, "
+                        f"exceeding the {capacity}-STE half-core; no "
+                        "packing can place it"
+                    ),
+                )
+            )
+            continue
+        placed = False
+        for index in range(len(bin_states)):
+            if (
+                bin_states[index] + size <= capacity
+                and bin_edges[index] + cid_edges <= edge_limit
+            ):
+                bin_components[index].append(cid)
+                bin_states[index] += size
+                bin_edges[index] += cid_edges
+                assignment[cid] = index
+                placed = True
+                break
+        if not placed:
+            bin_components.append([cid])
+            bin_states.append(size)
+            bin_edges.append(cid_edges)
+            assignment[cid] = len(bin_states) - 1
+            if cid_edges > edge_limit:
+                # A lone component can still exceed the proxy; packing
+                # cannot fix that, only flag it.
+                violations.append(
+                    PlanViolation(
+                        code="AP207",
+                        message=(
+                            f"component {cid} alone programs "
+                            f"{cid_edges} transitions, above the "
+                            f"routing proxy of {edge_limit}"
+                        ),
+                    )
+                )
+
+    half_cores = max(1, len(bin_states))
+    if half_cores > geometry.half_cores:
+        violations.append(
+            PlanViolation(
+                code="AP202",
+                message=(
+                    f"replica needs {half_cores} half-cores; the board "
+                    f"has {geometry.half_cores}"
+                ),
+            )
+        )
+
+    per_device = geometry.half_cores_per_device
+    devices = max(1, math.ceil(half_cores / per_device))
+    reporting_used = len(automaton.reporting_states())
+    reporting_budget = devices * (
+        OUTPUT_REGIONS_PER_DEVICE * REPORTING_ELEMENTS_PER_REGION
+    )
+    if reporting_used > reporting_budget:
+        violations.append(
+            PlanViolation(
+                code="AP204",
+                message=(
+                    f"{reporting_used} reporting states exceed the "
+                    f"{reporting_budget} reporting elements of "
+                    f"{devices} device(s)"
+                ),
+            )
+        )
+    counters_budget = devices * COUNTERS_PER_DEVICE
+    if counters_used > counters_budget:
+        violations.append(
+            PlanViolation(
+                code="AP205",
+                message=(
+                    f"{counters_used} counters exceed the "
+                    f"{counters_budget} the replica's device(s) provide"
+                ),
+            )
+        )
+    booleans_budget = devices * BOOLEAN_ELEMENTS_PER_DEVICE
+    if booleans_used > booleans_budget:
+        violations.append(
+            PlanViolation(
+                code="AP206",
+                message=(
+                    f"{booleans_used} boolean elements exceed the "
+                    f"{booleans_budget} the replica's device(s) provide"
+                ),
+            )
+        )
+
+    segments = (
+        segments_available(geometry, half_cores)
+        if half_cores <= geometry.half_cores
+        else 0
+    )
+    bins = tuple(
+        HalfCoreBin(
+            index=index,
+            components=tuple(sorted(bin_components[index])),
+            states=bin_states[index],
+            edges=bin_edges[index],
+        )
+        for index in range(len(bin_states))
+    )
+    return CapacityPlan(
+        automaton=automaton.name,
+        geometry=geometry,
+        bins=bins,
+        assignment=assignment,
+        reporting_used=reporting_used,
+        reporting_budget=reporting_budget,
+        counters_used=counters_used,
+        counters_budget=counters_budget,
+        booleans_used=booleans_used,
+        booleans_budget=booleans_budget,
+        segments=segments,
+        violations=tuple(violations),
+    )
+
+
+def iter_plan_diagnostics(plan: CapacityPlan) -> Iterator[str]:
+    """Human-readable one-liners for a plan's violations."""
+    for violation in plan.violations:
+        yield f"{violation.code}: {violation.message}"

@@ -13,6 +13,9 @@
   the dual-domain tolerance policy, ``report`` renders one;
 * ``match`` — compile patterns and scan a file, sequential vs. PAP;
 * ``lint`` — static diagnostics (apcheck) for automata and deployments;
+* ``analyze`` — predictive static analysis (repro.analyze): cost-model
+  cycle/speedup predictions, capacity plans, and the prediction-vs-
+  actual tolerance gate against a committed ``BENCH_*.json``;
 * ``table1`` / ``fig3`` — regenerate the characterization tables;
 * ``speculate`` — the speculation extension on one benchmark.
 """
@@ -41,14 +44,26 @@ from repro.errors import (
     ReproError,
 )
 from repro.exec import BACKEND_NAMES, FaultPlan, RetryPolicy, resolve_backend
+from repro.analyze.render import (
+    render_analysis_sarif,
+    render_analysis_text,
+)
+from repro.analyze.report import (
+    DEFAULT_TOLERANCE,
+    analyze_suite,
+    compare_to_baseline,
+    load_baseline,
+)
 from repro.lint import (
     FAMILIES,
     LintConfig,
     Severity,
     render_json,
+    render_sarif,
     render_text,
     rules_for,
     run_lint,
+    severity_gate,
 )
 from repro.obs import Tracer, validate_chrome_trace
 from repro.perf import (
@@ -529,12 +544,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
     if args.format == "json":
         print(render_json(reports, min_severity=min_severity))
+    elif args.format == "sarif":
+        print(render_sarif(reports, min_severity=min_severity))
     else:
         print(render_text(reports, min_severity=min_severity))
-    if args.fail_on == "never":
-        return 0
-    threshold = Severity.parse(args.fail_on)
-    failed = any(len(r.at_least(threshold)) for r in reports)
+    return 1 if severity_gate(reports, args.fail_on) else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    names = tuple(args.target)
+    if args.suite:
+        names = names + tuple(
+            name for name in BENCHMARK_NAMES if name not in names
+        )
+    if not names:
+        raise SystemExit(
+            "no analyze targets: pass benchmark names or --suite"
+        )
+    unknown = [name for name in names if name not in BENCHMARK_NAMES]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {', '.join(sorted(unknown))} "
+            f"(see `repro list`)"
+        )
+    report = analyze_suite(
+        names,
+        label=args.label,
+        scale=args.scale,
+        seed=args.seed,
+        ranks=args.ranks,
+        trace_bytes=args.trace_bytes,
+        modeled_bytes=PAPER_BYTES.get(args.model_input),
+        use_trials=not args.no_trials,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, ConfigurationError) as error:
+            print(f"repro analyze: {error}", file=sys.stderr)
+            return 2
+        report = compare_to_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"[analysis artifact written to {args.out}]", file=sys.stderr)
+    if args.format == "json":
+        print(report.to_json(), end="")
+    elif args.format == "sarif":
+        print(render_analysis_sarif(report))
+    else:
+        print(render_analysis_text(report))
+    failed = (report.compared and not report.passed) or bool(
+        report.infeasible
+    )
     return 1 if failed else 0
 
 
@@ -801,7 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated rule families ({', '.join(FAMILIES)})",
     )
     lint_parser.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format", choices=("text", "json", "sarif"), default="text"
     )
     lint_parser.add_argument(
         "--severity",
@@ -829,6 +894,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="boolean elements the deployment will program",
     )
     _add_common(lint_parser)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="predictive parallelizability analysis (repro.analyze)",
+        description=(
+            "Run the semantic static-analysis pass: divergence facts, "
+            "the cycle cost model (predicted enumeration cycles and "
+            "speedup per workload), and the constructive capacity "
+            "planner. With --baseline, predictions are gated against a "
+            "committed BENCH_*.json artifact. Exit codes: 0 clean, 1 "
+            "gate failure or infeasible plan, 2 usage."
+        ),
+    )
+    analyze_parser.add_argument(
+        "target",
+        nargs="*",
+        help="benchmark names (see `repro list`)",
+    )
+    analyze_parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="analyze every bundled benchmark",
+    )
+    analyze_parser.add_argument(
+        "--ranks", type=int, default=1, choices=(1, 2, 4)
+    )
+    analyze_parser.add_argument("--trace-bytes", type=int, default=65_536)
+    analyze_parser.add_argument(
+        "--model-input",
+        choices=("1MB", "10MB"),
+        default="1MB",
+        help="paper input size the trace stands in for",
+    )
+    analyze_parser.add_argument(
+        "--no-trials",
+        action="store_true",
+        help=(
+            "skip concrete refinement trials; unresolved flows are "
+            "pessimistically treated as survivors (fully abstract pass)"
+        ),
+    )
+    analyze_parser.add_argument(
+        "--baseline",
+        metavar="BENCH_JSON",
+        help="BENCH_*.json artifact to gate predictions against",
+    )
+    analyze_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "relative prediction-error budget per workload "
+            f"(default {DEFAULT_TOLERANCE})"
+        ),
+    )
+    analyze_parser.add_argument("--label", default="local")
+    analyze_parser.add_argument(
+        "-o", "--out", help="write the full analysis report JSON here"
+    )
+    analyze_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    _add_common(analyze_parser)
 
     table_parser = commands.add_parser(
         "table1", help="regenerate Table 1 characteristics"
@@ -858,6 +986,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "match": _cmd_match,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
     "speculate": _cmd_speculate,

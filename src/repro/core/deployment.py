@@ -56,6 +56,7 @@ def deploy_plan(
     *,
     analysis: AutomatonAnalysis | None = None,
     lint: bool = True,
+    placement: Placement | None = None,
 ) -> Deployment:
     """Place one replica per segment and bind flows to cache slots.
 
@@ -65,6 +66,12 @@ def deploy_plan(
     :class:`PlacementError` when the replicas do not fit the board and
     :class:`CapacityError` when a segment plans more flows than its
     device's state-vector cache holds.
+
+    ``placement`` supplies a pre-computed per-replica placement — e.g.
+    one constructed by :func:`repro.analyze.planner.plan_capacity`
+    (``CapacityPlan.to_placement()``) — instead of re-packing here.
+    The board still validates every STE load when the replica is
+    programmed, so a bad external placement fails loudly, not subtly.
     """
     analysis = analysis or AutomatonAnalysis(automaton)
     if lint:
@@ -81,11 +88,12 @@ def deploy_plan(
             ),
             analysis=analysis,
         )
-    placement = place_automaton(
-        automaton,
-        capacity=board.geometry.stes_per_half_core,
-        analysis=analysis,
-    )
+    if placement is None:
+        placement = place_automaton(
+            automaton,
+            capacity=board.geometry.stes_per_half_core,
+            analysis=analysis,
+        )
     needed = placement.half_cores * len(plan.segments)
     if needed > board.num_half_cores:
         raise PlacementError(

@@ -104,3 +104,25 @@ def build_units(
             )
         )
     return units
+
+
+def unit_count_bound(
+    analysis: AutomatonAnalysis, range_states: frozenset[int]
+) -> int:
+    """Cheap upper bound on ``len(build_units(analysis, range_states))``.
+
+    Counts one prospective unit per distinct parent observed over the
+    range plus one per parentless range state, *without* materializing
+    child groups or deduplicating equal member sets — which is exactly
+    why it can only overcount.  The static-analysis pass uses it to
+    bound enumeration work before committing to a partition symbol.
+    """
+    parents: set[int] = set()
+    parentless = 0
+    for sid in range_states:
+        state_parents = analysis.parents_of(sid)
+        if state_parents:
+            parents.update(state_parents)
+        else:
+            parentless += 1
+    return len(parents) + parentless

@@ -78,6 +78,61 @@ def partition_input(
     return segments
 
 
+@dataclass(frozen=True)
+class BoundaryProfile:
+    """Static summary of one segmentation's boundary structure.
+
+    The analysis pass consumes this instead of the raw segment list:
+    ``snapped`` counts boundaries that landed on the partition symbol,
+    ``off_symbol`` the ones where no occurrence fell inside the snap
+    window (their successors enumerate a different — usually wider —
+    range), and the length fields bound the per-segment work.
+    """
+
+    num_segments: int
+    snapped: int
+    off_symbol: int
+    min_length: int
+    max_length: int
+    mean_length: float
+    boundary_symbols: tuple[int, ...]
+
+
+def boundary_profile(
+    segments: list[InputSegment], *, symbol: int | None = None
+) -> BoundaryProfile:
+    """Summarize how a partition's cuts landed (see
+    :class:`BoundaryProfile`).  ``symbol`` is the partition symbol the
+    cuts were snapped to; ``None`` counts every boundary as off-symbol.
+    """
+    if not segments:
+        return BoundaryProfile(
+            num_segments=0,
+            snapped=0,
+            off_symbol=0,
+            min_length=0,
+            max_length=0,
+            mean_length=0.0,
+            boundary_symbols=(),
+        )
+    boundary_symbols = tuple(
+        segment.boundary_symbol
+        for segment in segments
+        if segment.boundary_symbol is not None
+    )
+    snapped = sum(1 for b in boundary_symbols if b == symbol)
+    lengths = [segment.length for segment in segments]
+    return BoundaryProfile(
+        num_segments=len(segments),
+        snapped=snapped,
+        off_symbol=len(boundary_symbols) - snapped,
+        min_length=min(lengths),
+        max_length=max(lengths),
+        mean_length=sum(lengths) / len(lengths),
+        boundary_symbols=boundary_symbols,
+    )
+
+
 def _snap(
     data: bytes,
     target: int,

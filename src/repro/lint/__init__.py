@@ -1,7 +1,7 @@
 """repro.lint — the ``apcheck`` static-analysis pass.
 
 Pre-execution diagnostics for homogeneous automata and their AP
-deployments, in three rule families:
+deployments, in four rule families:
 
 * **structural** (``AP001``–``AP009``) — well-formedness: start/report
   sanity, empty labels, dangling edges, unreachable and dead states,
@@ -11,7 +11,10 @@ deployments, in three rule families:
   pressure, always-active coverage (the paper's Section 3 properties);
 * **capacity** (``AP201``–``AP208``) — D480 budgets: half-core and
   board STE capacity, output regions, counters/booleans, routing
-  pressure.
+  pressure;
+* **predictive** (``AP301``+) — :mod:`repro.analyze`-backed judgement:
+  divergence-surviving enumeration flows that cap predicted speedup
+  (``AP301``) or cross the enumeration-vs-single-FSM line (``AP302``).
 
 Use :func:`run_lint` for a full report, :func:`lint_gate` as the
 raising pre-deployment check, and the renderers for output::
@@ -28,6 +31,7 @@ from repro.lint.registry import (
     FAMILIES,
     FAMILY_CAPACITY,
     FAMILY_PARALLEL,
+    FAMILY_PREDICTIVE,
     FAMILY_STRUCTURAL,
     REGISTRY,
     DEFAULT_LINT_CONFIG,
@@ -37,8 +41,14 @@ from repro.lint.registry import (
     rule,
     rules_for,
 )
-from repro.lint.render import format_diagnostic, render_json, render_text
+from repro.lint.render import (
+    format_diagnostic,
+    render_json,
+    render_text,
+    severity_gate,
+)
 from repro.lint.runner import lint_gate, run_lint
+from repro.lint.sarif import render_sarif, sarif_run, severity_to_level
 
 __all__ = [
     "DEFAULT_LINT_CONFIG",
@@ -46,6 +56,7 @@ __all__ = [
     "FAMILIES",
     "FAMILY_CAPACITY",
     "FAMILY_PARALLEL",
+    "FAMILY_PREDICTIVE",
     "FAMILY_STRUCTURAL",
     "LintConfig",
     "LintContext",
@@ -56,8 +67,12 @@ __all__ = [
     "format_diagnostic",
     "lint_gate",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule",
     "rules_for",
     "run_lint",
+    "sarif_run",
+    "severity_gate",
+    "severity_to_level",
 ]

@@ -1,0 +1,131 @@
+"""Predictive rules (AP301+): analysis-backed parallelizability checks.
+
+These rules consume the :mod:`repro.analyze` fact pass instead of the
+structural queries the other families use.  Lint runs without input
+data, so the divergence pass uses the uniform trace profile — every
+label hit probability degrades to ``|label| / 256`` — which makes these
+*conservative* judgements: a flow the uniform abstraction can kill dies
+under any input distribution that is not adversarially matched to the
+automaton, while an unresolved flow here may still die quickly on real
+traffic (run ``repro analyze`` with a trace for the sharp version).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analyze.facts import (
+    BoundaryFacts,
+    boundary_facts,
+    label_hit_probabilities,
+    uniform_profile,
+)
+from repro.ap.placement import segments_available
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import FAMILY_PREDICTIVE, LintContext, rule
+
+#: Predicted-speedup floor below which parallelization is flagged.
+MIN_PREDICTED_SPEEDUP = 2.0
+
+_FACTS_ATTR = "_predictive_boundary_facts"
+
+
+def _uniform_boundary(ctx: LintContext) -> BoundaryFacts:
+    """Boundary facts for the best partition symbol under the uniform
+    profile, computed once per lint pass (both rules share them)."""
+    cached = getattr(ctx, _FACTS_ATTR, None)
+    if cached is None:
+        profile = uniform_profile()
+        hit = label_hit_probabilities(ctx.automaton, profile)
+        successors = tuple(
+            ctx.automaton.successors(sid)
+            for sid in range(len(ctx.automaton))
+        )
+        symbol, _ = ctx.best_partition_symbol()
+        cached = boundary_facts(
+            ctx.automaton,
+            ctx.analysis,
+            symbol,
+            False,
+            ctx.path_independent,
+            hit,
+            profile,
+            successors,
+        )
+        setattr(ctx, _FACTS_ATTR, cached)
+    return cached
+
+
+def _segments(ctx: LintContext) -> int:
+    placement = ctx.placement()
+    if placement is None:
+        return 0
+    return segments_available(ctx.config.geometry, placement.half_cores)
+
+
+@rule(
+    "AP301",
+    "predicted-enumeration-blowup",
+    FAMILY_PREDICTIVE,
+    Severity.WARNING,
+    "divergence analysis predicts surviving enumeration flows that cap "
+    "parallel speedup below the payoff threshold",
+)
+def _predicted_blowup(ctx: LintContext) -> Iterator[Diagnostic]:
+    segments = _segments(ctx)
+    if segments < 2:
+        return
+    bound = _uniform_boundary(ctx)
+    survivors = bound.static_survivors
+    # Crossover (AP302) subsumes this finding; keep the two disjoint.
+    if survivors == 0 or survivors + 1 >= segments:
+        return
+    predicted = segments / (1 + survivors)
+    if predicted >= MIN_PREDICTED_SPEEDUP:
+        return
+    yield ctx.emit(
+        "AP301",
+        f"{survivors} of {bound.flow_count} enumeration flows survive "
+        f"the divergence pass, capping predicted speedup at "
+        f"{predicted:.2f}x across {segments} segments (threshold "
+        f"{MIN_PREDICTED_SPEEDUP:.1f}x)",
+        data={
+            "segments": segments,
+            "flows": bound.flow_count,
+            "surviving_flows": survivors,
+            "predicted_speedup": round(predicted, 4),
+            "threshold": MIN_PREDICTED_SPEEDUP,
+            "partition_symbol": bound.symbol,
+        },
+    )
+
+
+@rule(
+    "AP302",
+    "enumeration-sfa-crossover",
+    FAMILY_PREDICTIVE,
+    Severity.WARNING,
+    "surviving enumeration flows reach the segment count: parallel "
+    "execution is predicted no faster than the sequential golden run",
+)
+def _sfa_crossover(ctx: LintContext) -> Iterator[Diagnostic]:
+    segments = _segments(ctx)
+    if segments < 2:
+        return
+    bound = _uniform_boundary(ctx)
+    survivors = bound.static_survivors
+    if survivors + 1 < segments:
+        return
+    yield ctx.emit(
+        "AP302",
+        f"{survivors} surviving enumeration flow(s) + the always-active "
+        f"flow match or exceed the {segments} available segments; the "
+        f"golden fallback (sequential execution) is predicted to win — "
+        f"enumeration cost has crossed the single-FSM line",
+        data={
+            "segments": segments,
+            "flows": bound.flow_count,
+            "surviving_flows": survivors,
+            "partition_symbol": bound.symbol,
+        },
+    )

@@ -42,7 +42,13 @@ from repro.lint.diagnostics import Diagnostic, Severity
 FAMILY_STRUCTURAL = "structural"
 FAMILY_PARALLEL = "parallel"
 FAMILY_CAPACITY = "capacity"
-FAMILIES = (FAMILY_STRUCTURAL, FAMILY_PARALLEL, FAMILY_CAPACITY)
+FAMILY_PREDICTIVE = "predictive"
+FAMILIES = (
+    FAMILY_STRUCTURAL,
+    FAMILY_PARALLEL,
+    FAMILY_CAPACITY,
+    FAMILY_PREDICTIVE,
+)
 
 
 @dataclass(frozen=True)

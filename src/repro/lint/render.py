@@ -28,6 +28,26 @@ def _as_reports(
     return list(reports)
 
 
+def severity_gate(
+    reports: LintReport | Iterable[LintReport], fail_on: str
+) -> bool:
+    """The shared ``--fail-on`` policy of ``repro lint``/``repro analyze``.
+
+    True when any report carries a diagnostic at or above the
+    ``fail_on`` severity; the literal ``"never"`` disables the gate.
+    Other values must parse as a :class:`Severity`
+    (:class:`~repro.errors.ConfigurationError` otherwise) — both CLIs
+    and the CI jobs call this one function so their exit semantics
+    cannot drift apart.
+    """
+    if fail_on == "never":
+        return False
+    threshold = Severity.parse(fail_on)
+    return any(
+        len(report.at_least(threshold)) for report in _as_reports(reports)
+    )
+
+
 def format_diagnostic(diagnostic: Diagnostic) -> str:
     """One diagnostic as text line(s)."""
     name = diagnostic.automaton or "<automaton>"

@@ -31,6 +31,7 @@ from repro.lint.registry import (
 from repro.lint import structural as _structural  # noqa: F401
 from repro.lint import parallel as _parallel  # noqa: F401
 from repro.lint import capacity as _capacity  # noqa: F401
+from repro.lint import predictive as _predictive  # noqa: F401
 
 
 def run_lint(
@@ -54,7 +55,7 @@ def run_lint(
         queries against a moved-underneath automaton.
     families:
         Restrict to rule families (``structural``, ``parallel``,
-        ``capacity``); ``None`` runs everything.
+        ``capacity``, ``predictive``); ``None`` runs everything.
     """
     config = config or DEFAULT_LINT_CONFIG
     if analysis is not None and not analysis.is_fresh():

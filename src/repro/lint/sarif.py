@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 rendering, shared by ``repro lint`` and ``repro analyze``.
+
+One :class:`~repro.lint.diagnostics.Diagnostic` maps to one SARIF
+``result``; the rule metadata from the registry (when the code is
+registered) lands in the driver's ``rules`` array so SARIF viewers can
+show the rule summary next to each finding.  ``repro analyze`` reuses
+the same entry point by constructing plain ``Diagnostic`` values for
+its prediction findings — the Diagnostic dataclass, not the registry,
+is the contract.
+
+Severity mapping follows the SARIF spec's recommended levels:
+``INFO -> note``, ``WARNING -> warning``, ``ERROR -> error``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def severity_to_level(severity: Severity) -> str:
+    """The SARIF ``level`` for a diagnostic severity."""
+    return _LEVEL[severity]
+
+
+def _rule_metadata(diagnostics: Iterable[Diagnostic]) -> list[dict[str, Any]]:
+    # Imported lazily: sarif rendering must not force rule registration.
+    from repro.lint.registry import REGISTRY
+
+    rules: dict[str, dict[str, Any]] = {}
+    for diagnostic in diagnostics:
+        if diagnostic.code in rules:
+            continue
+        entry: dict[str, Any] = {
+            "id": diagnostic.code,
+            "name": diagnostic.rule,
+        }
+        registered = REGISTRY.get(diagnostic.code)
+        if registered is not None:
+            entry["shortDescription"] = {"text": registered.summary}
+            entry["defaultConfiguration"] = {
+                "level": severity_to_level(registered.default_severity)
+            }
+        rules[diagnostic.code] = entry
+    return [rules[code] for code in sorted(rules)]
+
+
+def _result(diagnostic: Diagnostic, rule_index: dict[str, int]) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index[diagnostic.code],
+        "level": severity_to_level(diagnostic.severity),
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "logicalLocations": [
+                    {
+                        "name": diagnostic.automaton or "<automaton>",
+                        "kind": "module",
+                    }
+                ]
+            }
+        ],
+    }
+    properties: dict[str, Any] = {}
+    if diagnostic.states:
+        properties["states"] = list(diagnostic.states)
+    if diagnostic.data:
+        properties["data"] = dict(diagnostic.data)
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def sarif_run(
+    diagnostics: Iterable[Diagnostic],
+    *,
+    tool_name: str = "repro-lint",
+    tool_version: str | None = None,
+) -> dict[str, Any]:
+    """One SARIF ``run`` object for a batch of diagnostics."""
+    ordered = list(diagnostics)
+    rules = _rule_metadata(ordered)
+    rule_index = {entry["id"]: index for index, entry in enumerate(rules)}
+    driver: dict[str, Any] = {
+        "name": tool_name,
+        "informationUri": "https://github.com/",
+        "rules": rules,
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+    return {
+        "tool": {"driver": driver},
+        "results": [_result(d, rule_index) for d in ordered],
+        "columnKind": "utf16CodeUnits",
+    }
+
+
+def render_sarif(
+    reports: LintReport | Iterable[LintReport],
+    *,
+    min_severity: Severity = Severity.INFO,
+    tool_name: str = "repro-lint",
+    indent: int | None = 2,
+) -> str:
+    """Render lint reports as one SARIF 2.1.0 log (one run)."""
+    if isinstance(reports, LintReport):
+        reports = [reports]
+    diagnostics = [
+        diagnostic
+        for report in reports
+        for diagnostic in report.at_least(min_severity)
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [sarif_run(diagnostics, tool_name=tool_name)],
+    }
+    return json.dumps(log, indent=indent, sort_keys=False)

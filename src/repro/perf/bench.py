@@ -31,6 +31,23 @@ from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 HEAVY_TRACE_DIVISOR = {"Fermi": 4}
 
 
+def trace_budget(
+    name: str, trace_bytes: int, modeled_bytes: int | None
+) -> tuple[int, int | None]:
+    """The (trace, modeled) byte budget one benchmark actually runs at.
+
+    Heavy workloads divide both by :data:`HEAVY_TRACE_DIVISOR` so the
+    timing scale factor — and therefore every speedup ratio — is
+    unchanged.  ``repro.analyze`` mirrors these budgets so predictions
+    compare against ``BENCH_*.json`` artifacts byte-for-byte.
+    """
+    divisor = HEAVY_TRACE_DIVISOR.get(name, 1)
+    return (
+        trace_bytes // divisor,
+        modeled_bytes // divisor if modeled_bytes is not None else None,
+    )
+
+
 def select_benchmarks(spec: str | None = None) -> tuple[str, ...]:
     """Resolve the benchmark selection for one bench run.
 
@@ -118,18 +135,14 @@ def run_bench_suite(
     )
     try:
         for name in names:
-            divisor = HEAVY_TRACE_DIVISOR.get(name, 1)
+            budget, modeled = trace_budget(name, trace_bytes, modeled_bytes)
             bench = build_benchmark(name, scale=scale, seed=seed)
             run, wall = measure_wall(
                 lambda: run_benchmark(
                     bench,
                     ranks=ranks,
-                    trace_bytes=trace_bytes // divisor,
-                    modeled_bytes=(
-                        modeled_bytes // divisor
-                        if modeled_bytes is not None
-                        else None
-                    ),
+                    trace_bytes=budget,
+                    modeled_bytes=modeled,
                     trace_seed=seed + 1,
                     config=config,
                     backend=resolved,

@@ -1,0 +1,195 @@
+"""Unit tests for the fact-extraction pass (profiles, divergence,
+deactivation protocol offsets)."""
+
+import pytest
+
+from repro.analyze.facts import (
+    TraceProfile,
+    deactivation_check_offsets,
+    divergence_depth,
+    gather_facts,
+    label_hit_probabilities,
+    profile_trace,
+    uniform_profile,
+)
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.automata.execution import CompiledAutomaton
+from repro.errors import ConfigurationError
+
+
+def chain(labels, *, loop_back=False, name="chain"):
+    """START_OF_DATA head plus a linear tail; optional tail->second
+    cycle to make the subgraph recurrent."""
+    automaton = Automaton(name)
+    sids = [
+        automaton.add_state(
+            CharClass.full() if label == "*" else CharClass.single(label),
+            start=StartKind.START_OF_DATA if index == 0 else StartKind.NONE,
+        )
+        for index, label in enumerate(labels)
+    ]
+    for src, dst in zip(sids, sids[1:]):
+        automaton.add_edge(src, dst)
+    if loop_back and len(sids) >= 2:
+        automaton.add_edge(sids[-1], sids[1])
+    return automaton, sids
+
+
+class TestProfiles:
+    def test_uniform_profile_shape(self):
+        profile = uniform_profile()
+        assert len(profile.symbol_frequency) == 256
+        assert sum(profile.symbol_frequency) == pytest.approx(1.0)
+        assert profile.event_rate == 0.0
+        assert profile.occupancy == {}
+        assert profile.window == 0
+
+    def test_profile_requires_full_histogram(self):
+        with pytest.raises(ConfigurationError, match="per byte"):
+            TraceProfile(
+                window=0,
+                event_rate=0.0,
+                symbol_frequency=(1.0,),
+                occupancy={},
+            )
+
+    def test_profile_trace_measures_frequency_and_rate(self):
+        automaton = Automaton("always")
+        automaton.add_state(
+            CharClass.single("a"),
+            start=StartKind.ALL_INPUT,
+            reporting=True,
+        )
+        compiled = CompiledAutomaton(automaton)
+        data = b"ab" * 64
+        profile = profile_trace(compiled, data)
+        assert profile.window == len(data)
+        assert profile.symbol_frequency[ord("a")] == pytest.approx(0.5)
+        assert profile.symbol_frequency[ord("b")] == pytest.approx(0.5)
+        assert sum(profile.symbol_frequency) == pytest.approx(1.0)
+        # The ALL_INPUT reporter fires on every 'a': half the symbols.
+        assert profile.event_rate == pytest.approx(0.5)
+        # The matching state shows up in the sampled occupancy.
+        assert any(value > 0 for value in profile.occupancy.values())
+
+    def test_profile_trace_empty_input(self):
+        automaton = Automaton("empty")
+        automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        profile = profile_trace(CompiledAutomaton(automaton), b"")
+        assert profile.window == 0
+        assert profile.event_rate == 0.0
+        assert sum(profile.symbol_frequency) == 0.0
+
+    def test_profile_trace_rejects_bad_stride(self):
+        automaton = Automaton("s")
+        automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        with pytest.raises(ConfigurationError, match="stride"):
+            profile_trace(CompiledAutomaton(automaton), b"a", stride=0)
+
+    def test_label_hit_probabilities_follow_histogram(self):
+        automaton, _ = chain("ab")
+        profile = uniform_profile()
+        probs = label_hit_probabilities(automaton, profile)
+        assert probs[0] == pytest.approx(1 / 256)
+        automaton2 = Automaton("full")
+        automaton2.add_state(
+            CharClass.full(), start=StartKind.START_OF_DATA
+        )
+        [prob] = label_hit_probabilities(automaton2, profile)
+        assert prob == pytest.approx(1.0)
+
+
+class TestDivergenceDepth:
+    def test_acyclic_chain_resolves_at_path_length(self):
+        automaton, sids = chain("***")
+        successors = tuple(
+            automaton.successors(s) for s in range(len(automaton))
+        )
+        hit = (1.0,) * len(automaton)
+        resolved, depth = divergence_depth(
+            frozenset({sids[0]}), successors, frozenset(), hit
+        )
+        assert resolved
+        assert depth == len(sids)
+
+    def test_high_probability_cycle_stays_unresolved(self):
+        automaton, sids = chain("***", loop_back=True)
+        successors = tuple(
+            automaton.successors(s) for s in range(len(automaton))
+        )
+        hit = (1.0,) * len(automaton)
+        resolved, depth = divergence_depth(
+            frozenset({sids[1]}), successors, frozenset(), hit
+        )
+        assert not resolved
+        assert depth == 0
+
+    def test_low_hit_probability_kills_a_cycle(self):
+        # Same recurrent shape, but each step only matches 1/256 of the
+        # profiled symbols: divergence mass decays below epsilon fast.
+        automaton, sids = chain("aaa", loop_back=True)
+        successors = tuple(
+            automaton.successors(s) for s in range(len(automaton))
+        )
+        hit = (1 / 256,) * len(automaton)
+        resolved, depth = divergence_depth(
+            frozenset({sids[1]}), successors, frozenset(), hit
+        )
+        assert resolved
+        assert depth >= 1
+
+    def test_all_members_path_independent(self):
+        automaton, sids = chain("ab")
+        successors = tuple(
+            automaton.successors(s) for s in range(len(automaton))
+        )
+        resolved, depth = divergence_depth(
+            frozenset(sids),
+            successors,
+            frozenset(sids),
+            (1.0,) * len(automaton),
+        )
+        assert (resolved, depth) == (True, 1)
+
+
+class TestDeactivationCheckOffsets:
+    def test_short_segment_uses_early_checks(self):
+        assert deactivation_check_offsets(40) == (16, 32, 40)
+
+    def test_long_segment_switches_to_slice_boundaries(self):
+        offsets = deactivation_check_offsets(600)
+        assert offsets[0] == 16
+        assert 256 in offsets
+        assert 512 in offsets  # the first post-slice-1 check
+        assert offsets[-1] == 600
+        assert list(offsets) == sorted(set(offsets))
+
+    def test_tiny_segment_checks_once_at_end(self):
+        assert deactivation_check_offsets(10) == (10,)
+
+
+class TestGatherFacts:
+    def test_facts_cover_both_boundary_variants(self):
+        automaton, _ = chain("abcd")
+        data = b"abcdabcd" * 16
+        facts = gather_facts(automaton, data, num_segments=4)
+        symbol = facts.partition_symbol
+        assert (symbol, False) in facts.boundaries
+        assert (symbol, True) in facts.boundaries
+        assert facts.num_states == len(automaton)
+        assert len(facts.components) == facts.num_components
+        bound = facts.boundary(symbol, at_offset_zero=False)
+        assert bound.unit_bound >= bound.unit_count
+        assert bound.flow_count <= bound.unit_count or bound.unit_count == 0
+
+    def test_acyclic_facts_report_convergence(self):
+        automaton, _ = chain("abcd")
+        data = b"abcdabcd" * 16
+        facts = gather_facts(automaton, data, num_segments=2)
+        for component in facts.components:
+            assert not component.recurrent

@@ -1,0 +1,182 @@
+"""Constructive capacity planner: budgets hold by construction, the
+emitted placement deploys, and violations are reported not raised."""
+
+import pytest
+
+from repro.analyze.planner import plan_capacity
+from repro.ap.device import Board
+from repro.ap.geometry import BoardGeometry
+from repro.automata.analysis import AutomatonAnalysis
+from repro.core.config import PAPConfig
+from repro.core.deployment import deploy_plan
+from repro.core.pap import ParallelAutomataProcessor
+from repro.regex.ruleset import compile_ruleset
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+TINY = BoardGeometry(ranks=1, devices_per_rank=2, stes_per_half_core=64)
+
+
+@pytest.fixture
+def automaton():
+    compiled, _ = compile_ruleset(["abc", "xyz", "q[rs]t"])
+    return compiled
+
+
+class TestPlanConstruction:
+    def test_bins_respect_both_budgets(self, automaton):
+        plan = plan_capacity(automaton, geometry=TINY)
+        assert plan.feasible
+        capacity = TINY.stes_per_half_core
+        for bin_ in plan.bins:
+            assert 0 < bin_.states <= capacity
+            assert bin_.edges <= capacity  # routing_edge_factor=1.0
+            assert 0.0 < bin_.utilization(capacity) <= 1.0
+
+    def test_every_component_assigned_exactly_once(self, automaton):
+        analysis = AutomatonAnalysis(automaton)
+        plan = plan_capacity(automaton, geometry=TINY, analysis=analysis)
+        components = analysis.connected_components()
+        assert set(plan.assignment) == set(range(len(components)))
+        binned = sorted(
+            cid for bin_ in plan.bins for cid in bin_.components
+        )
+        assert binned == sorted(plan.assignment)
+        assert plan.total_states == len(automaton)
+
+    def test_ffd_never_beats_capacity(self, automaton):
+        # The packing is at least as tight as one component per bin.
+        analysis = AutomatonAnalysis(automaton)
+        plan = plan_capacity(automaton, geometry=TINY, analysis=analysis)
+        assert plan.half_cores <= len(analysis.connected_components())
+        assert 0.0 < plan.utilization() <= 1.0
+
+    def test_segments_match_placement_footprint(self, automaton):
+        from repro.ap.placement import segments_available
+
+        plan = plan_capacity(automaton, geometry=TINY)
+        assert plan.segments == segments_available(TINY, plan.half_cores)
+
+    def test_to_dict_is_artifact_shaped(self, automaton):
+        import json
+
+        plan = plan_capacity(automaton, geometry=TINY)
+        payload = plan.to_dict()
+        assert payload["feasible"] is True
+        assert payload["half_cores"] == plan.half_cores
+        assert len(payload["bins"]) == len(plan.bins)
+        json.dumps(payload)
+
+
+class TestDeploymentSeam:
+    def test_planned_placement_deploys(self, automaton):
+        plan = plan_capacity(automaton, geometry=TINY)
+        placement = plan.to_placement()
+        assert sum(placement.loads) == len(automaton)
+        pap = ParallelAutomataProcessor(
+            automaton, config=PAPConfig(geometry=TINY)
+        )
+        pap_plan = pap.plan((b"abc xyz qrt " * 64)[:512])
+        board = Board(geometry=TINY)
+        deployment = deploy_plan(
+            board, automaton, pap_plan, placement=placement
+        )
+        assert len(deployment.segments) == len(pap_plan.segments)
+        for segment in deployment.segments:
+            assert segment.placement is placement
+
+
+class TestViolations:
+    def test_oversize_component_ap201(self, automaton):
+        cramped = BoardGeometry(
+            ranks=1, devices_per_rank=1, stes_per_half_core=2
+        )
+        plan = plan_capacity(automaton, geometry=cramped)
+        assert not plan.feasible
+        assert "AP201" in {v.code for v in plan.violations}
+
+    def test_board_overflow_ap202(self):
+        # 3 components of 3 states on a 2-half-core board of capacity 3:
+        # each fills a bin, the replica needs one bin too many.
+        from repro.automata.anml import Automaton, StartKind
+        from repro.automata.charclass import CharClass
+
+        automaton = Automaton("wide")
+        for _ in range(3):
+            head = automaton.add_state(
+                CharClass.single("a"), start=StartKind.START_OF_DATA
+            )
+            mid = automaton.add_state(CharClass.single("b"))
+            tail = automaton.add_state(CharClass.single("c"))
+            automaton.add_edge(head, mid)
+            automaton.add_edge(mid, tail)
+        geometry = BoardGeometry(
+            ranks=1, devices_per_rank=1, stes_per_half_core=3
+        )
+        plan = plan_capacity(automaton, geometry=geometry)
+        codes = {v.code for v in plan.violations}
+        assert "AP202" in codes
+        assert "AP201" not in codes
+        assert plan.segments == 0
+
+    def test_routing_pressure_ap207(self):
+        from repro.automata.anml import Automaton, StartKind
+        from repro.automata.charclass import CharClass
+
+        automaton = Automaton("dense")
+        sids = [
+            automaton.add_state(
+                CharClass.single("a"), start=StartKind.START_OF_DATA
+            )
+            for _ in range(4)
+        ]
+        for src in sids:
+            for dst in sids:
+                if src != dst:
+                    automaton.add_edge(src, dst)
+        geometry = BoardGeometry(
+            ranks=1, devices_per_rank=1, stes_per_half_core=4
+        )
+        plan = plan_capacity(
+            automaton, geometry=geometry, routing_edge_factor=2.0
+        )
+        assert "AP207" in {v.code for v in plan.violations}
+
+    def test_counter_and_boolean_budgets(self, automaton):
+        plan = plan_capacity(
+            automaton,
+            geometry=TINY,
+            counters_used=100_000,
+            booleans_used=100_000,
+        )
+        codes = {v.code for v in plan.violations}
+        assert {"AP205", "AP206"} <= codes
+        assert plan.counters_used == 100_000
+        assert plan.counters_used > plan.counters_budget
+
+    def test_violations_render_as_diagnostics(self, automaton):
+        from repro.analyze.planner import iter_plan_diagnostics
+
+        cramped = BoardGeometry(
+            ranks=1, devices_per_rank=1, stes_per_half_core=2
+        )
+        plan = plan_capacity(automaton, geometry=cramped)
+        lines = list(iter_plan_diagnostics(plan))
+        assert lines
+        assert all(line.split(":")[0].startswith("AP2") for line in lines)
+
+
+class TestSuiteAcceptance:
+    """ISSUE acceptance bar: constructed plans pass the AP201-AP208
+    budgets by construction on the entire benchmark suite."""
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_suite_plans_are_feasible(self, name):
+        instance = build_benchmark(name, scale=0.03, seed=7)
+        plan = plan_capacity(instance.automaton)
+        assert plan.feasible, [v.code for v in plan.violations]
+        capacity = plan.geometry.stes_per_half_core
+        for bin_ in plan.bins:
+            assert bin_.states <= capacity
+            assert bin_.edges <= capacity
+        assert plan.reporting_used <= plan.reporting_budget
+        assert plan.segments >= 1

@@ -5,7 +5,11 @@ import pytest
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton, StartKind
 from repro.automata.charclass import CharClass
-from repro.core.enumeration import EnumerationUnit, build_units
+from repro.core.enumeration import (
+    EnumerationUnit,
+    build_units,
+    unit_count_bound,
+)
 from repro.core.merging import pack_flows
 from repro.core.ranges import enumeration_range
 
@@ -80,6 +84,112 @@ class TestBuildUnits:
         second = build_units(analysis, rng)
         assert [u.unit_id for u in first] == list(range(len(first)))
         assert first == second
+
+
+class TestBuildUnitsEdgeCases:
+    def test_empty_range_builds_no_units(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        assert build_units(analysis, frozenset()) == []
+        assert unit_count_bound(analysis, frozenset()) == 0
+
+    def test_parentless_states_form_singleton_units(self):
+        # START_OF_DATA heads have empty predecessor sets: they must
+        # carry their own singleton unit, not vanish from the plan.
+        automaton = Automaton()
+        heads = [
+            automaton.add_state(
+                CharClass.single("k"), start=StartKind.START_OF_DATA
+            )
+            for _ in range(3)
+        ]
+        analysis = AutomatonAnalysis(automaton)
+        rng = frozenset(heads)
+        units = build_units(analysis, rng)
+        assert len(units) == 3
+        assert all(len(unit.members) == 1 for unit in units)
+
+    def test_force_singletons_adds_offset_zero_cover(
+        self, common_parent_automaton
+    ):
+        # At an offset-0 boundary the start-of-data states match with no
+        # parent having fired, so they need singleton units on top of
+        # the parent groups.
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k")) | frozenset({0, 1})
+        plain = build_units(analysis, rng)
+        forced = build_units(
+            analysis, rng, force_singletons=frozenset({0, 1})
+        )
+        member_sets = {unit.members for unit in forced}
+        assert frozenset({0}) in member_sets
+        assert frozenset({1}) in member_sets
+        assert len(forced) >= len(plain)
+
+    def test_force_singletons_outside_range_ignored(
+        self, common_parent_automaton
+    ):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        plain = build_units(analysis, rng)
+        forced = build_units(
+            analysis, rng, force_singletons=frozenset({0, 1})
+        )
+        assert forced == plain  # 0 and 1 are not in the range
+
+    def test_full_range_single_component_chain(self):
+        # A full-label chain puts every non-head state in the range of
+        # every partition symbol: one unit per state (distinct parents),
+        # all in one component.
+        automaton = Automaton()
+        prev = automaton.add_state(
+            CharClass.full(), start=StartKind.START_OF_DATA
+        )
+        for _ in range(5):
+            nxt = automaton.add_state(CharClass.full())
+            automaton.add_edge(prev, nxt)
+            prev = nxt
+        analysis = AutomatonAnalysis(automaton)
+        rng = enumeration_range(analysis, ord("x"))
+        assert len(rng) == 5  # the parentless head is excluded
+        units = build_units(analysis, rng)
+        assert len(units) == 5
+        assert len({unit.component for unit in units}) == 1
+
+
+class TestUnitCountBound:
+    def test_bound_dominates_actual_units(self, common_parent_automaton):
+        analysis = AutomatonAnalysis(common_parent_automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        assert unit_count_bound(analysis, rng) >= len(
+            build_units(analysis, rng)
+        )
+
+    def test_bound_counts_parentless_states(self):
+        automaton = Automaton()
+        for _ in range(4):
+            automaton.add_state(
+                CharClass.single("k"), start=StartKind.START_OF_DATA
+            )
+        analysis = AutomatonAnalysis(automaton)
+        assert unit_count_bound(analysis, frozenset(range(4))) == 4
+
+    def test_bound_overcounts_duplicate_parent_groups(self):
+        # Two parents sharing one child: the bound sees two prospective
+        # units, dedup leaves one actual unit.
+        automaton = Automaton()
+        p1 = automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        p2 = automaton.add_state(
+            CharClass.single("b"), start=StartKind.START_OF_DATA
+        )
+        child = automaton.add_state(CharClass.single("k"), reporting=True)
+        automaton.add_edge(p1, child)
+        automaton.add_edge(p2, child)
+        analysis = AutomatonAnalysis(automaton)
+        rng = enumeration_range(analysis, ord("k"))
+        assert unit_count_bound(analysis, rng) == 2
+        assert len(build_units(analysis, rng)) == 1
 
 
 class TestUnitTruth:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.partitioning import partition_input
+from repro.core.partitioning import boundary_profile, partition_input
 from repro.errors import ConfigurationError
 
 
@@ -85,6 +85,57 @@ class TestSnapping:
         segments = partition_input(data, 2, symbol=ord("b"), snap_window=10)
         assert len(segments) == 2
         assert segments[1].start == 5
+
+
+class TestBoundaryProfile:
+    def test_empty_segment_list_is_all_zeros(self):
+        profile = boundary_profile([], symbol=ord("b"))
+        assert profile.num_segments == 0
+        assert profile.snapped == 0
+        assert profile.off_symbol == 0
+        assert profile.min_length == 0
+        assert profile.max_length == 0
+        assert profile.mean_length == 0.0
+        assert profile.boundary_symbols == ()
+
+    def test_snapped_and_off_symbol_bookkeeping(self):
+        # 'b' at positions 3 and 11 snaps both cuts: 2 snapped, 0 off.
+        data = b"aaabaaaaaaabaaa"
+        segments = partition_input(data, 3, symbol=ord("b"), snap_window=3)
+        profile = boundary_profile(segments, symbol=ord("b"))
+        assert profile.num_segments == 3
+        assert profile.snapped == 2
+        assert profile.off_symbol == 0
+        assert profile.boundary_symbols == (ord("b"), ord("b"))
+
+    def test_unsnapped_cut_counts_as_off_symbol(self):
+        # No 'z' anywhere: the cut falls back to the target and the
+        # boundary byte is whatever precedes it.
+        data = b"a" * 100
+        segments = partition_input(data, 2, symbol=ord("z"), snap_window=5)
+        profile = boundary_profile(segments, symbol=ord("z"))
+        assert profile.snapped == 0
+        assert profile.off_symbol == 1
+
+    def test_none_symbol_counts_everything_off(self):
+        data = b"aaabaaaaaaabaaa"
+        segments = partition_input(data, 3, symbol=ord("b"), snap_window=3)
+        profile = boundary_profile(segments, symbol=None)
+        assert profile.snapped == 0
+        assert profile.off_symbol == len(segments) - 1
+
+    def test_length_statistics(self):
+        segments = partition_input(b"x" * 100, 4, symbol=None)
+        profile = boundary_profile(segments)
+        assert profile.min_length == 25
+        assert profile.max_length == 25
+        assert profile.mean_length == 25.0
+
+    def test_first_segment_contributes_no_boundary(self):
+        segments = partition_input(b"ab" * 50, 5)
+        profile = boundary_profile(segments, symbol=ord("a"))
+        assert len(profile.boundary_symbols) == len(segments) - 1
+        assert profile.snapped + profile.off_symbol == len(segments) - 1
 
 
 class TestDegenerateInputs:

@@ -1,0 +1,131 @@
+"""Predictive-family rules (AP301/AP302): divergence-backed speedup
+judgements under the uniform no-trace profile."""
+
+import pytest
+
+from repro.ap.geometry import BoardGeometry
+from repro.automata import builder
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.lint import LintConfig, Severity, run_lint
+from repro.workloads.suite import build_benchmark
+
+ONE_RANK = LintConfig(geometry=BoardGeometry(ranks=1))
+
+
+def full_loop(length: int, name: str = "loop") -> Automaton:
+    """A single-component full-label chain whose tail feeds back into
+    the second state: every enumeration flow sits on a recurrent
+    always-matching cycle, so the uniform divergence pass can kill
+    none of them (one surviving flow per chain state)."""
+    automaton = Automaton(name)
+    prev = automaton.add_state(
+        CharClass.full(), start=StartKind.START_OF_DATA
+    )
+    loop_head = None
+    for index in range(length - 1):
+        nxt = automaton.add_state(
+            CharClass.full(), reporting=(index == length - 2)
+        )
+        automaton.add_edge(prev, nxt)
+        if loop_head is None:
+            loop_head = nxt
+        prev = nxt
+    automaton.add_edge(prev, loop_head)
+    return automaton
+
+
+class TestPredictedBlowupAP301:
+    def test_fires_when_survivors_cap_speedup(self):
+        # 9 survivors + ASG over 16 segments: predicted 1.6x < 2.0x.
+        report = run_lint(
+            full_loop(10), config=ONE_RANK, families=("predictive",)
+        )
+        [diag] = [d for d in report if d.code == "AP301"]
+        assert diag.severity is Severity.WARNING
+        assert diag.data["segments"] == 16
+        assert diag.data["surviving_flows"] == 9
+        assert diag.data["predicted_speedup"] == pytest.approx(1.6)
+        assert "AP302" not in report.codes()
+
+    def test_silent_when_speedup_clears_threshold(self):
+        # 7 survivors: 16 / 8 = 2.0x, exactly at the payoff floor.
+        report = run_lint(
+            full_loop(8), config=ONE_RANK, families=("predictive",)
+        )
+        assert "AP301" not in report.codes()
+        assert "AP302" not in report.codes()
+
+
+class TestCrossoverAP302:
+    def test_fires_when_survivors_reach_segment_count(self):
+        report = run_lint(
+            full_loop(20), config=ONE_RANK, families=("predictive",)
+        )
+        [diag] = [d for d in report if d.code == "AP302"]
+        assert diag.severity is Severity.WARNING
+        assert diag.data["surviving_flows"] == 19
+        assert diag.data["surviving_flows"] + 1 >= diag.data["segments"]
+        # The two predictive findings are disjoint by construction.
+        assert "AP301" not in report.codes()
+
+    def test_boundary_is_exact(self):
+        # 15 survivors + 1 == 16 segments: the crossover line itself.
+        report = run_lint(
+            full_loop(16), config=ONE_RANK, families=("predictive",)
+        )
+        assert "AP302" in report.codes()
+        assert "AP301" not in report.codes()
+
+
+class TestPredictiveStaysQuiet:
+    def test_acyclic_chain_resolves_cleanly(self):
+        # Same widths, no back edge: the divergence pass kills every
+        # flow at the chain depth, so parallelization is predicted fine.
+        automaton = Automaton("acyclic")
+        prev = automaton.add_state(
+            CharClass.full(), start=StartKind.START_OF_DATA
+        )
+        for _ in range(19):
+            nxt = automaton.add_state(CharClass.full())
+            automaton.add_edge(prev, nxt)
+            prev = nxt
+        report = run_lint(
+            automaton, config=ONE_RANK, families=("predictive",)
+        )
+        assert report.codes() == set()
+
+    def test_literal_ruleset_is_clean(self):
+        automaton = Automaton("hub")
+        hub = builder.star_self_loop(automaton)
+        builder.attach_pattern(automaton, hub, builder.classes_for("abc"))
+        report = run_lint(
+            automaton, config=ONE_RANK, families=("predictive",)
+        )
+        assert report.codes() == set()
+
+    def test_silent_without_a_placement(self):
+        # Unplaceable replica: no segment count, nothing to predict
+        # (capacity rules own that failure).
+        tiny = LintConfig(
+            geometry=BoardGeometry(
+                ranks=1, devices_per_rank=1, stes_per_half_core=4
+            )
+        )
+        report = run_lint(
+            full_loop(10), config=tiny, families=("predictive",)
+        )
+        assert "AP301" not in report.codes()
+        assert "AP302" not in report.codes()
+
+    @pytest.mark.parametrize(
+        "name", ["ExactMatch", "Ranges05", "Dotstar03", "Snort"]
+    )
+    def test_real_benchmarks_parallelize(self, name):
+        # The evaluation suite measures 3-13x speedups; the predictive
+        # family must not second-guess workloads that demonstrably scale.
+        instance = build_benchmark(name, scale=0.05, seed=7)
+        report = run_lint(
+            instance.automaton, config=ONE_RANK, families=("predictive",)
+        )
+        assert report.codes() == set()

@@ -1,0 +1,170 @@
+"""SARIF rendering and the shared ``--fail-on`` severity gate."""
+
+import json
+
+import pytest
+
+from repro.automata import builder
+from repro.automata.anml import Automaton, StartKind
+from repro.automata.charclass import CharClass
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.lint import (
+    Severity,
+    render_sarif,
+    run_lint,
+    sarif_run,
+    severity_gate,
+    severity_to_level,
+)
+from repro.lint.diagnostics import Diagnostic
+
+
+@pytest.fixture
+def error_report():
+    automaton = Automaton("nostart")
+    automaton.add_state(CharClass.single("a"))
+    return run_lint(automaton, families=("structural",))
+
+
+@pytest.fixture
+def clean_report():
+    automaton = Automaton("clean")
+    hub = builder.star_self_loop(automaton)
+    builder.attach_pattern(automaton, hub, builder.classes_for("ab"))
+    return run_lint(automaton, families=("structural",))
+
+
+class TestSarifRendering:
+    def test_log_shape(self, error_report):
+        log = json.loads(render_sarif(error_report))
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"]
+
+    def test_severity_level_mapping(self):
+        assert severity_to_level(Severity.INFO) == "note"
+        assert severity_to_level(Severity.WARNING) == "warning"
+        assert severity_to_level(Severity.ERROR) == "error"
+
+    def test_results_reference_rule_metadata(self, error_report):
+        log = json.loads(render_sarif(error_report))
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert ids == sorted(ids)
+        for result in run["results"]:
+            assert result["ruleId"] == rules[result["ruleIndex"]]["id"]
+        # Registered rules carry their registry summary and default
+        # severity for SARIF viewers.
+        registered = [r for r in rules if "shortDescription" in r]
+        assert registered
+        for rule in registered:
+            assert rule["defaultConfiguration"]["level"] in (
+                "note",
+                "warning",
+                "error",
+            )
+
+    def test_logical_location_names_the_automaton(self, error_report):
+        log = json.loads(render_sarif(error_report))
+        for result in log["runs"][0]["results"]:
+            [location] = result["locations"]
+            [logical] = location["logicalLocations"]
+            assert logical["name"] == "nostart"
+            assert logical["kind"] == "module"
+
+    def test_min_severity_filters_results(self, error_report):
+        everything = json.loads(render_sarif(error_report))
+        errors_only = json.loads(
+            render_sarif(error_report, min_severity=Severity.ERROR)
+        )
+        all_results = everything["runs"][0]["results"]
+        error_results = errors_only["runs"][0]["results"]
+        assert len(error_results) < len(all_results)
+        assert all(r["level"] == "error" for r in error_results)
+
+    def test_many_reports_one_run(self, error_report, clean_report):
+        log = json.loads(render_sarif([error_report, clean_report]))
+        assert len(log["runs"]) == 1
+
+    def test_unregistered_codes_get_bare_metadata(self):
+        diagnostic = Diagnostic(
+            code="ZZ999",
+            rule="made-up",
+            severity=Severity.INFO,
+            message="synthetic",
+            automaton="x",
+        )
+        run = sarif_run([diagnostic], tool_name="custom")
+        [rule] = run["tool"]["driver"]["rules"]
+        assert rule == {"id": "ZZ999", "name": "made-up"}
+        assert run["tool"]["driver"]["name"] == "custom"
+
+    def test_states_and_data_land_in_properties(self):
+        diagnostic = Diagnostic(
+            code="ZZ001",
+            rule="r",
+            severity=Severity.WARNING,
+            message="m",
+            automaton="x",
+            states=(1, 2),
+            data={"k": 3},
+        )
+        run = sarif_run([diagnostic])
+        [result] = run["results"]
+        assert result["properties"] == {"states": [1, 2], "data": {"k": 3}}
+
+
+class TestSeverityGate:
+    def test_never_disables_the_gate(self, error_report):
+        assert severity_gate(error_report, "never") is False
+
+    def test_threshold_semantics(self, error_report, clean_report):
+        assert severity_gate(error_report, "error") is True
+        assert severity_gate(error_report, "warning") is True
+        assert severity_gate(clean_report, "error") is False
+        # Info-level findings still trip an info-threshold gate.
+        assert severity_gate(clean_report, "info") is bool(
+            len(clean_report)
+        )
+
+    def test_any_report_can_trip_the_gate(self, error_report, clean_report):
+        assert severity_gate([clean_report, error_report], "error") is True
+
+    def test_bad_threshold_rejected(self, error_report):
+        with pytest.raises(ConfigurationError):
+            severity_gate(error_report, "catastrophic")
+
+
+class TestLintSarifCli:
+    def test_lint_format_sarif(self, capsys):
+        exit_code = main(
+            ["lint", "ExactMatch", "--scale", "0.05", "--format", "sarif"]
+        )
+        assert exit_code == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        for result in run["results"]:
+            assert result["ruleId"].startswith("AP")
+
+    def test_sarif_respects_fail_on(self, tmp_path, capsys):
+        # A broken automaton must still emit SARIF *and* exit 1.
+        from repro.automata.serialization import automaton_to_dict
+
+        automaton = Automaton("busted")
+        automaton.add_state(
+            CharClass.single("a"), start=StartKind.START_OF_DATA
+        )
+        payload = automaton_to_dict(automaton)
+        payload["states"][0]["label"] = "0"
+        path = tmp_path / "busted.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        exit_code = main(["lint", str(path), "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        codes = {r["ruleId"] for r in log["runs"][0]["results"]}
+        assert "AP002" in codes
