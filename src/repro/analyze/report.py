@@ -370,3 +370,24 @@ def load_baseline(path: str | Path) -> dict[str, Any]:
             f"{path}: not a BENCH artifact (no 'benchmarks' key)"
         )
     return payload
+
+
+def load_analysis(path: str | Path) -> dict[str, Any]:
+    """Parse a committed ``ANALYZE_*.json`` artifact.
+
+    The drift monitor (:mod:`repro.obs.drift`) loads predictions from
+    here by their ``Name@rN`` workload key.  Unreadable or malformed
+    files raise :class:`ConfigurationError` so CLI callers exit 1 with
+    a one-line message instead of a traceback.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise ConfigurationError(
+            f"cannot load analysis artifact {path}: {error}"
+        ) from error
+    if not isinstance(payload, dict) or "workloads" not in payload:
+        raise ConfigurationError(
+            f"{path}: not an ANALYZE artifact (no 'workloads' key)"
+        )
+    return payload

@@ -11,6 +11,8 @@
 * ``bench`` — benchmark artifacts and regression gating: ``run``
   captures a ``BENCH_*.json``, ``compare`` diffs two artifacts under
   the dual-domain tolerance policy, ``report`` renders one;
+* ``obs`` — run telemetry: validate/summarize flight-recorder ledgers
+  and OpenMetrics exports, export a ledger's metrics, diff two runs;
 * ``match`` — compile patterns and scan a file, sequential vs. PAP;
 * ``lint`` — static diagnostics (apcheck) for automata and deployments;
 * ``analyze`` — predictive static analysis (repro.analyze): cost-model
@@ -65,7 +67,15 @@ from repro.lint import (
     run_lint,
     severity_gate,
 )
-from repro.obs import Tracer, validate_chrome_trace
+from repro.obs import (
+    FlightRecorder,
+    Tracer,
+    parse_openmetrics,
+    read_ledger,
+    render_openmetrics,
+    summarize_ledger,
+    validate_chrome_trace,
+)
 from repro.perf import (
     CYCLE_DOMAIN,
     TolerancePolicy,
@@ -287,7 +297,17 @@ def _print_run_text(summary: dict) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     bench = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
-    tracer = Tracer() if (args.trace or args.profile) else None
+    # The flight recorder IS a tracer, so --trace/--profile work off it;
+    # --metrics-export only needs a live metrics registry.
+    tracer: Tracer | None
+    if args.ledger:
+        tracer = FlightRecorder(path=args.ledger)
+    elif args.trace or args.profile or args.metrics_export or (
+        args.drift_baseline
+    ):
+        tracer = Tracer()
+    else:
+        tracer = None
     config = (
         replace(DEFAULT_CONFIG, use_fiv=False)
         if args.no_fiv
@@ -299,6 +319,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigurationError as error:
         print(f"repro run: {error}", file=sys.stderr)
         return 2
+    drift = None
     try:
         run = run_benchmark(
             bench,
@@ -312,25 +333,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retry=retry,
             faults=faults,
         )
+        if args.drift_baseline:
+            # Checked before the ledger seals so the drift events and
+            # counters land inside it.
+            from repro.obs.drift import DriftMonitor
+
+            assert tracer is not None
+            monitor = DriftMonitor.from_analysis_artifact(
+                args.drift_baseline,
+                args.benchmark,
+                ranks=args.ranks,
+                tolerance=args.drift_tolerance,
+                observer=tracer,
+            )
+            drift = monitor.check_run(run.pap)
     finally:
         backend.close()
+        # Seal the ledger even when the run raised: the failure record
+        # and crash bundle were written by the run_failed hook, and the
+        # close record makes the ledger valid for `repro obs summary`.
+        if isinstance(tracer, FlightRecorder):
+            tracer.close()
     summary = _run_summary(run, bench, args)
+    if drift is not None:
+        summary["drift"] = [diag.to_dict() for diag in drift]
     if args.format == "json":
         print(json.dumps(summary, indent=2))
     else:
         _print_run_text(summary)
+        if drift is not None:
+            if drift:
+                for diag in drift:
+                    print(f"drift            : {diag.code} {diag.message}")
+            else:
+                print(
+                    "drift            : none (within "
+                    f"{args.drift_tolerance:.0%} of prediction)"
+                )
+    out_stream = sys.stderr if args.format == "json" else sys.stdout
     if tracer is not None and args.trace:
         tracer.write_chrome(args.trace, domain=args.trace_domain)
         print(
             f"trace written    : {args.trace} "
             f"({args.trace_domain} domain, open in ui.perfetto.dev)",
-            file=sys.stderr if args.format == "json" else sys.stdout,
+            file=out_stream,
+        )
+    if tracer is not None and args.metrics_export:
+        with open(args.metrics_export, "w", encoding="utf-8") as handle:
+            handle.write(render_openmetrics(tracer.metrics.snapshot()))
+        print(
+            f"metrics written  : {args.metrics_export} (OpenMetrics)",
+            file=out_stream,
+        )
+    if isinstance(tracer, FlightRecorder) and args.ledger:
+        print(
+            f"ledger written   : {args.ledger} "
+            f"(run {tracer.run_id}, {tracer.num_records} records)",
+            file=out_stream,
         )
     if tracer is not None and args.profile:
         # With JSON output the profile goes to stderr so stdout stays
         # machine-readable.
-        stream = sys.stderr if args.format == "json" else sys.stdout
-        print(tracer.text_profile(), file=stream)
+        print(tracer.text_profile(), file=out_stream)
     return 0 if run.reports_match else 1
 
 
@@ -460,6 +524,134 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "report": _cmd_bench_report,
     }
     return handlers[args.bench_command](args)
+
+
+def _obs_read_text(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        raise ArtifactError(f"cannot read {path!r}: {error}") from error
+
+
+def _ledger_close_metrics(records: list[dict]) -> dict:
+    """The metrics snapshot embedded in a ledger's close record."""
+    for record in reversed(records):
+        if record["kind"] == "close":
+            return (record.get("args") or {}).get("metrics", {})
+    raise ArtifactError(
+        "ledger has no close record (run was not sealed); "
+        "no metrics snapshot to export"
+    )
+
+
+def _obs_load_samples(path: str) -> dict[str, float]:
+    """Load a ledger or an OpenMetrics file as a flat sample map."""
+    text = _obs_read_text(path)
+    if text.lstrip().startswith("{"):
+        return parse_openmetrics(
+            render_openmetrics(_ledger_close_metrics(read_ledger(path)))
+        )
+    try:
+        return parse_openmetrics(text)
+    except ValueError as error:
+        raise ArtifactError(f"{path}: {error}") from error
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    text = _obs_read_text(args.target)
+    if text.lstrip().startswith("{"):
+        records = read_ledger(args.target)
+        summary = summarize_ledger(records)
+        if args.format == "json":
+            print(json.dumps(summary, indent=2))
+            return 0
+        print(f"ledger           : {args.target}")
+        print(f"run              : {summary['run_id']}")
+        print(
+            f"schema           : v{summary['schema_version']}, "
+            f"{summary['records']} records, "
+            f"sealed {'yes' if summary['sealed'] else 'NO'}"
+        )
+        kinds = ", ".join(
+            f"{count} {kind}" for kind, count in summary["kinds"].items()
+        )
+        print(f"records          : {kinds}")
+        print(f"wall time        : {summary['wall_ns'] / 1e6:.2f} ms")
+        if "failure" in summary:
+            failure = summary["failure"]
+            print(
+                f"failure          : {failure['type']}: "
+                f"{failure['message']}"
+            )
+        metrics = summary.get("metrics", {})
+        if metrics:
+            print(f"metrics          : {len(metrics)} instruments")
+        return 0
+    try:
+        samples = parse_openmetrics(text)
+    except ValueError as error:
+        raise ArtifactError(f"{args.target}: {error}") from error
+    if args.format == "json":
+        print(json.dumps(samples, indent=2, sort_keys=True))
+        return 0
+    families = {name.split("{")[0] for name in samples}
+    print(f"exposition       : {args.target}")
+    print(
+        f"samples          : {len(samples)} across "
+        f"{len(families)} series"
+    )
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    metrics = _ledger_close_metrics(read_ledger(args.ledger))
+    if args.format == "json":
+        rendered = json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+    else:
+        rendered = render_openmetrics(metrics)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"[metrics written to {args.output}]", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    a = _obs_load_samples(args.a)
+    b = _obs_load_samples(args.b)
+    changed = sorted(
+        name
+        for name in a.keys() & b.keys()
+        if a[name] != b[name]
+    )
+    added = sorted(b.keys() - a.keys())
+    removed = sorted(a.keys() - b.keys())
+    for name in changed:
+        print(f"~ {name}: {a[name]:g} -> {b[name]:g}")
+    for name in added:
+        print(f"+ {name}: {b[name]:g}")
+    for name in removed:
+        print(f"- {name}: {a[name]:g}")
+    if not (changed or added or removed):
+        print(f"identical: {len(a)} samples")
+        return 0
+    print(
+        f"{len(changed)} changed, {len(added)} added, "
+        f"{len(removed)} removed"
+    )
+    return 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "summary": _cmd_obs_summary,
+        "export": _cmd_obs_export,
+        "diff": _cmd_obs_diff,
+    }
+    return handlers[args.obs_command](args)
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
@@ -702,6 +894,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the aggregated text profile after the summary",
     )
+    run_parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help=(
+            "record the run to a JSONL flight-recorder ledger; on "
+            "failure a crash bundle is written next to it "
+            "(PATH.crash.json)"
+        ),
+    )
+    run_parser.add_argument(
+        "--metrics-export",
+        metavar="PATH",
+        help=(
+            "write the run's metrics registry as an OpenMetrics/"
+            "Prometheus text exposition"
+        ),
+    )
+    run_parser.add_argument(
+        "--drift-baseline",
+        metavar="ANALYZE_JSON",
+        help=(
+            "ANALYZE_*.json artifact with this benchmark's cost-model "
+            "prediction; the run is checked live against it and AP4xx "
+            "drift diagnostics are reported"
+        ),
+    )
+    run_parser.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=0.10,
+        help=(
+            "relative divergence beyond which a drift diagnostic "
+            "fires (default 0.10)"
+        ),
+    )
     _add_backend(run_parser)
     _add_resilience(run_parser)
     _add_common(run_parser)
@@ -829,6 +1056,52 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument("artifact", help="a BENCH_*.json file")
     bench_report.add_argument(
         "--format", choices=("text", "markdown", "json"), default="text"
+    )
+
+    obs_parser = commands.add_parser(
+        "obs",
+        help="inspect run telemetry: ledgers and metric exports",
+        description=(
+            "Work with repro.obs.telemetry artifacts: summarize and "
+            "validate JSONL run ledgers or OpenMetrics expositions, "
+            "export a ledger's metrics snapshot, and diff two metric "
+            "sets. Exit codes: 0 clean/identical, 1 invalid artifact "
+            "or differences, 2 usage."
+        ),
+    )
+    obs_commands = obs_parser.add_subparsers(
+        dest="obs_command", required=True
+    )
+    obs_summary = obs_commands.add_parser(
+        "summary",
+        help="validate + summarize a ledger or OpenMetrics file",
+    )
+    obs_summary.add_argument(
+        "target", help="a JSONL ledger or an OpenMetrics .prom file"
+    )
+    obs_summary.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="render a sealed ledger's metrics snapshot",
+    )
+    obs_export.add_argument("ledger", help="a JSONL flight-recorder ledger")
+    obs_export.add_argument(
+        "-o", "--output", help="write here instead of stdout"
+    )
+    obs_export.add_argument(
+        "--format", choices=("openmetrics", "json"), default="openmetrics"
+    )
+    obs_diff = obs_commands.add_parser(
+        "diff",
+        help="diff two metric sets; exit 1 when they differ",
+    )
+    obs_diff.add_argument(
+        "a", help="baseline ledger or OpenMetrics file"
+    )
+    obs_diff.add_argument(
+        "b", help="candidate ledger or OpenMetrics file"
     )
 
     match_parser = commands.add_parser(
@@ -984,6 +1257,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "obs": _cmd_obs,
     "match": _cmd_match,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,

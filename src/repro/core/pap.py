@@ -21,6 +21,7 @@ input — the test suite enforces this with property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton
@@ -284,13 +285,16 @@ class ParallelAutomataProcessor:
         the target segment still has live flows.
         """
         obs = self.observer
+        run_args: dict[str, Any] = {"input_bytes": len(data)}
+        if obs.run_id is not None:
+            run_args["run"] = obs.run_id
         run_span = obs.begin_span(
-            "run", track=TRACK_RUN, cycle=0, args={"input_bytes": len(data)}
+            "run", track=TRACK_RUN, cycle=0, args=run_args
         )
         plan = self.plan(data)
         owns_backend = not isinstance(backend, ExecutionBackend)
         resolved = resolve_backend(backend, workers=workers)
-        health = RunHealth()
+        health = RunHealth(run_id=obs.run_id)
         injector = FaultInjector(faults) if faults is not None else None
         ctx = ExecutionContext(
             automaton=self.automaton,
@@ -305,6 +309,15 @@ class ParallelAutomataProcessor:
         )
         try:
             outcomes = resolved.execute(ctx, data, plan.segments)
+        except Exception as error:
+            # The flight recorder turns this hook into a crash bundle
+            # (ledger tail + health + metrics); the null observer
+            # ignores it.  Fault bookkeeping runs first so the bundle's
+            # health record names what was injected.
+            if injector is not None:
+                health.injected = list(injector.injected)
+            obs.run_failed(error, health=health)
+            raise
         finally:
             if owns_backend:
                 resolved.close()

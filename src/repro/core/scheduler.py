@@ -166,6 +166,22 @@ class SegmentScheduler:
             return self._run_golden(data, plan)
         return self._run_enumerated(data, plan, unit_truth, fiv_time)
 
+    def _observe_segment(self, metrics: SegmentMetrics) -> None:
+        """Feed segment-end distributions into the metrics registry.
+
+        These power the OpenMetrics quantile summaries (p50/p95/p99 of
+        segment latency and flow survival).  Under the null observer
+        the registry hands back shared no-op instruments, so the cost
+        is two calls per *segment* — nowhere near the per-symbol path.
+        """
+        registry = self.observer.metrics
+        registry.histogram("segment.finish_cycles").observe(
+            metrics.finish_cycles
+        )
+        registry.histogram("segment.flows_at_end").observe(
+            metrics.flows_at_end
+        )
+
     # -- golden (first) segment ---------------------------------------------
 
     def _run_golden(self, data: bytes, plan: SegmentPlan) -> SegmentResult:
@@ -201,6 +217,7 @@ class SegmentScheduler:
             cycle=segment.length,
             args={"raw_events": metrics.raw_events},
         )
+        self._observe_segment(metrics)
         return SegmentResult(
             plan=plan,
             events=events,
@@ -472,6 +489,7 @@ class SegmentScheduler:
                 "fiv_invalidations": metrics.fiv_invalidations,
             },
         )
+        self._observe_segment(metrics)
 
         final_currents = {
             flow.flow_id: (

@@ -454,13 +454,18 @@ class ProcessPoolBackend(ExecutionBackend):
             raise_fault(fault, index)
         obs = ctx.observer
         obs.metrics.counter("exec.dispatches").inc()
+        span_args = {
+            "kind": "golden" if plan.is_golden else "enumerated",
+            "flows": len(plan.flows),
+        }
+        if obs.run_id is not None:
+            # Correlate worker events with the run's ledger: every
+            # dispatch span names the flight recorder's run id.
+            span_args["run"] = obs.run_id
         span = obs.begin_span(
             f"dispatch[{index}]",
             track=TRACK_EXEC,
-            args={
-                "kind": "golden" if plan.is_golden else "enumerated",
-                "flows": len(plan.flows),
-            },
+            args=span_args,
         )
         worker_fault = (
             (fault, ctx.injector.plan.hang_s)

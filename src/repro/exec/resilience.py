@@ -102,6 +102,9 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 class RunHealth:
     """What the recovery machinery actually did during one run."""
 
+    run_id: str | None = None
+    """Correlation id shared with the run's flight-recorder ledger
+    (``None`` when no flight recorder is attached)."""
     attempts: dict[int, int] = field(default_factory=dict)
     """Execution attempts per segment index (1 everywhere on a clean run)."""
     retries: int = 0
@@ -134,6 +137,7 @@ class RunHealth:
     def to_dict(self) -> dict:
         """JSON-ready view for ``PAPRunResult.extra["health"]``."""
         return {
+            "run_id": self.run_id,
             "retries": self.retries,
             "timeouts": self.timeouts,
             "crashes": self.crashes,
@@ -183,7 +187,13 @@ def run_with_retry(
         attempt += 1
         health.record_attempt(segment_index)
         try:
-            return attempt_fn()
+            result = attempt_fn()
+            # Distribution of attempts-to-success per segment; feeds the
+            # p50/p95/p99 retry summaries in the OpenMetrics export.
+            observer.metrics.histogram(
+                "exec.attempts_per_segment"
+            ).observe(attempt)
+            return result
         except RETRYABLE_ERRORS as error:
             if isinstance(error, SegmentTimeoutError):
                 health.timeouts += 1

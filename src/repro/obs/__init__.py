@@ -29,7 +29,14 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullMetricsRegistry,
 )
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
 from repro.obs.profile import render_profile
+from repro.obs.telemetry import (
+    FlightRecorder,
+    LEDGER_SCHEMA_VERSION,
+    read_ledger,
+    summarize_ledger,
+)
 from repro.obs.tracer import (
     CountingObserver,
     NULL_OBSERVER,
@@ -38,11 +45,26 @@ from repro.obs.tracer import (
     Tracer,
 )
 
+# Drift detection reuses the lint Diagnostic model; importing
+# repro.obs.drift therefore executes repro.lint.__init__ (the whole
+# rule registry and its repro.core dependencies).  Export it lazily so
+# `import repro.obs` inside the hot scheduler path stays light.
+_LAZY = {
+    "DEFAULT_DRIFT_TOLERANCE": "repro.obs.drift",
+    "DriftMonitor": "repro.obs.drift",
+    "DriftObservation": "repro.obs.drift",
+}
+
 __all__ = [
     "Counter",
     "CountingObserver",
+    "DEFAULT_DRIFT_TOLERANCE",
+    "DriftMonitor",
+    "DriftObservation",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "NULL_REGISTRY",
@@ -51,6 +73,21 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "export_chrome_trace",
+    "parse_openmetrics",
+    "read_ledger",
+    "render_openmetrics",
     "render_profile",
+    "summarize_ledger",
     "validate_chrome_trace",
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

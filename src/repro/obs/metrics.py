@@ -34,7 +34,12 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """A point-in-time value; remembers the maximum it ever held."""
+    """A point-in-time value; remembers the maximum it ever held.
+
+    ``max_value`` stays at its ``-inf`` sentinel until the first
+    :meth:`set`; serialization layers must map the sentinel to ``None``
+    (``-Infinity`` is not strict JSON) — :meth:`observed_max` does that.
+    """
 
     name: str
     value: float = 0.0
@@ -44,6 +49,11 @@ class Gauge:
         self.value = value
         if value > self.max_value:
             self.max_value = value
+
+    @property
+    def observed_max(self) -> float | None:
+        """The maximum ever set, or ``None`` before the first set."""
+        return None if self.max_value == -math.inf else self.max_value
 
 
 @dataclass
@@ -76,6 +86,43 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the power-of-two buckets.
+
+        The position inside the winning bucket is linearly interpolated
+        between its bounds (``(2**(e-1), 2**e]``, with bucket 0 covering
+        everything at or below 1) and clamped to the exact observed
+        min/max, so single-bucket histograms report exact values.
+        Returns ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for exponent in sorted(self.buckets):
+            weight = self.buckets[exponent]
+            if cumulative + weight >= target:
+                low = 0.0 if exponent == 0 else float(2 ** (exponent - 1))
+                high = float(2**exponent)
+                position = (target - cumulative) / weight
+                estimate = low + position * (high - low)
+                return min(max(estimate, self.min_value), self.max_value)
+            cumulative += weight
+        return self.max_value
+
+    def quantiles(self) -> dict[str, float] | None:
+        """The p50/p95/p99 summary, or ``None`` on an empty histogram."""
+        if not self.count:
+            return None
+        out: dict[str, float] = {}
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = self.quantile(q)
+            assert value is not None
+            out[label] = value
+        return out
+
 
 class MetricsRegistry:
     """Name-keyed instrument store with on-demand creation."""
@@ -106,11 +153,14 @@ class MetricsRegistry:
         return instrument
 
     def snapshot(self) -> dict[str, dict]:
-        """Plain-data view of every instrument (JSON-serializable).
+        """Plain-data view of every instrument (strict-JSON-serializable).
 
         Keys are globally sorted — not per-type — so serialized
         snapshots diff cleanly across runs regardless of instrument
-        creation order.
+        creation order.  Sentinel infinities never leak: a never-set
+        gauge reports ``max: None`` and an empty histogram reports
+        ``min``/``max``/``quantiles`` as ``None``, so the payload always
+        survives ``json.dumps(..., allow_nan=False)``.
         """
         out: dict[str, dict] = {}
         for name, counter in self._counters.items():
@@ -119,7 +169,7 @@ class MetricsRegistry:
             out[name] = {
                 "type": "gauge",
                 "value": gauge.value,
-                "max": gauge.max_value,
+                "max": gauge.observed_max,
             }
         for name, histogram in self._histograms.items():
             out[name] = {
@@ -129,6 +179,11 @@ class MetricsRegistry:
                 "mean": histogram.mean,
                 "min": histogram.min_value if histogram.count else None,
                 "max": histogram.max_value if histogram.count else None,
+                "buckets": {
+                    str(exponent): histogram.buckets[exponent]
+                    for exponent in sorted(histogram.buckets)
+                },
+                "quantiles": histogram.quantiles(),
             }
         return dict(sorted(out.items()))
 

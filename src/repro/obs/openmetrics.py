@@ -1,0 +1,154 @@
+"""OpenMetrics/Prometheus text exposition for metrics snapshots.
+
+Turns a :meth:`repro.obs.metrics.MetricsRegistry.snapshot` payload into
+the OpenMetrics text format, so every run's counters, gauges, and
+histograms can be scraped, archived next to BENCH artifacts, and
+diffed across runs with standard tooling::
+
+    # TYPE repro_flows_deactivated counter
+    repro_flows_deactivated_total 128
+    # TYPE repro_segment_finish_cycles histogram
+    repro_segment_finish_cycles_bucket{le="4096"} 14
+    repro_segment_finish_cycles_bucket{le="+Inf"} 16
+    ...
+    # EOF
+
+Histogram buckets are the registry's power-of-two buckets rendered
+cumulatively (``le="2**e"``); the p50/p95/p99 quantile estimates ride
+along as a separate ``<name>_quantile`` gauge family with a
+``quantile`` label, because one metric may not be both a histogram and
+a summary.  :func:`parse_openmetrics` reads the same format back into a
+flat sample map — that is what ``repro obs diff`` compares.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping
+
+#: Default metric-name prefix; keeps repro metrics namespaced when the
+#: exposition is scraped into a shared Prometheus instance.
+DEFAULT_PREFIX = "repro"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)(\s+\S+)?$"
+)
+
+
+def metric_name(name: str, *, prefix: str = DEFAULT_PREFIX) -> str:
+    """Sanitize one registry instrument name for the exposition.
+
+    Dots and other separators become underscores; a prefix namespaces
+    the result (``svc.peak_occupancy`` -> ``repro_svc_peak_occupancy``).
+    """
+    cleaned = _NAME_RE.sub("_", name).strip("_")
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _format_value(value: float | int | None) -> str:
+    if value is None:
+        return "NaN"  # never emitted: callers skip None-valued samples
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _counter_lines(name: str, payload: Mapping) -> Iterable[str]:
+    yield f"# TYPE {name} counter"
+    yield f"{name}_total {_format_value(payload['value'])}"
+
+
+def _gauge_lines(name: str, payload: Mapping) -> Iterable[str]:
+    yield f"# TYPE {name} gauge"
+    yield f"{name} {_format_value(payload['value'])}"
+    maximum = payload.get("max")
+    if maximum is not None:
+        yield f"# TYPE {name}_max gauge"
+        yield f"{name}_max {_format_value(maximum)}"
+
+
+def _histogram_lines(name: str, payload: Mapping) -> Iterable[str]:
+    yield f"# TYPE {name} histogram"
+    buckets = payload.get("buckets") or {}
+    cumulative = 0
+    for exponent in sorted(int(e) for e in buckets):
+        cumulative += buckets[str(exponent)]
+        yield f'{name}_bucket{{le="{2 ** exponent}"}} {cumulative}'
+    yield f'{name}_bucket{{le="+Inf"}} {_format_value(payload["count"])}'
+    yield f"{name}_sum {_format_value(payload['total'])}"
+    yield f"{name}_count {_format_value(payload['count'])}"
+    quantiles = payload.get("quantiles")
+    if quantiles:
+        yield f"# TYPE {name}_quantile gauge"
+        for label, q in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            value = quantiles.get(label)
+            if value is not None:
+                yield (
+                    f'{name}_quantile{{quantile="{q}"}} '
+                    f"{_format_value(value)}"
+                )
+
+
+def render_openmetrics(
+    snapshot: Mapping[str, Mapping],
+    *,
+    prefix: str = DEFAULT_PREFIX,
+) -> str:
+    """Render one metrics snapshot as OpenMetrics text.
+
+    ``snapshot`` is the plain-data payload of
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (or the
+    ``metrics`` member of a ledger close record / crash bundle).  The
+    output is deterministic — instruments sorted by exposed name — and
+    ends with the spec's ``# EOF`` terminator.
+    """
+    renderers = {
+        "counter": _counter_lines,
+        "gauge": _gauge_lines,
+        "histogram": _histogram_lines,
+    }
+    lines: list[str] = []
+    exposed = sorted(
+        (metric_name(raw, prefix=prefix), raw) for raw in snapshot
+    )
+    for name, raw in exposed:
+        payload = snapshot[raw]
+        renderer = renderers.get(str(payload.get("type")))
+        if renderer is None:
+            continue
+        lines.extend(renderer(name, payload))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, float]:
+    """Parse an OpenMetrics exposition into ``{sample: value}``.
+
+    Sample keys keep their label sets verbatim
+    (``repro_x_bucket{le="8"}``), so two expositions diff sample by
+    sample.  Unparseable non-comment lines raise :class:`ValueError` —
+    ``repro obs summary`` uses that as its validity check.
+    """
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            raise ValueError(f"line {lineno}: not an OpenMetrics sample")
+        key = match.group("name") + (match.group("labels") or "")
+        try:
+            samples[key] = float(match.group("value"))
+        except ValueError as error:
+            raise ValueError(
+                f"line {lineno}: bad sample value "
+                f"{match.group('value')!r}"
+            ) from error
+    if "# EOF" not in text:
+        raise ValueError("missing '# EOF' terminator")
+    return samples

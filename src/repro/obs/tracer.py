@@ -92,6 +92,9 @@ class Observer:
 
     enabled: bool = False
     metrics: MetricsRegistry = NULL_REGISTRY
+    #: Correlation id threaded into dispatch spans and health records;
+    #: only the flight recorder (:mod:`repro.obs.telemetry`) sets one.
+    run_id: str | None = None
 
     def begin_span(
         self,
@@ -144,6 +147,19 @@ class Observer:
         cycle: int | None = None,
     ) -> None:
         """Record one sample of a time-varying quantity."""
+
+    def run_failed(
+        self,
+        error: BaseException,
+        *,
+        health: Any | None = None,
+    ) -> None:
+        """Hook fired when a run is about to re-raise ``error``.
+
+        ``health`` is the run's :class:`~repro.exec.resilience.RunHealth`
+        if one was being kept.  The flight recorder overrides this to
+        write a crash bundle; the base observer ignores failures.
+        """
 
     @contextmanager
     def span(

@@ -55,6 +55,11 @@ class BenchmarkRecord:
     trace_bytes: int
     cycles: dict
     wall: WallClockStats | None = None
+    telemetry: dict | None = None
+    """Per-segment quantile summaries (``BenchmarkRun.telemetry_dict``).
+    Carried for reading trends, never compared: summaries would turn
+    cycle-exact comparisons into fuzzy ones, and old baselines lack
+    them entirely."""
 
     @classmethod
     def from_run(
@@ -73,6 +78,7 @@ class BenchmarkRecord:
             trace_bytes=run.trace_bytes,
             cycles=payload["cycles"],
             wall=wall,
+            telemetry=run.telemetry_dict(),
         )
 
     def to_dict(self) -> dict:
@@ -84,12 +90,15 @@ class BenchmarkRecord:
         }
         if self.wall is not None:
             out["wall"] = self.wall.to_dict()
+        if self.telemetry is not None:
+            out["telemetry"] = dict(sorted(self.telemetry.items()))
         return out
 
     @classmethod
     def from_dict(cls, key: str, payload: dict) -> "BenchmarkRecord":
         try:
             wall = payload.get("wall")
+            telemetry = payload.get("telemetry")
             return cls(
                 key=key,
                 name=payload["name"],
@@ -97,6 +106,7 @@ class BenchmarkRecord:
                 trace_bytes=int(payload["trace_bytes"]),
                 cycles=dict(payload["cycles"]),
                 wall=WallClockStats.from_dict(wall) if wall else None,
+                telemetry=dict(telemetry) if telemetry else None,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ArtifactError(

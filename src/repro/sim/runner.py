@@ -108,6 +108,33 @@ class BenchmarkRun:
             },
         }
 
+    def telemetry_dict(self) -> dict:
+        """Quantile summaries of per-segment distributions.
+
+        Built from the run's own cycle-domain metrics (no observer
+        required), so it is as deterministic as :meth:`to_dict` — but it
+        rides in the BENCH artifact's ``telemetry`` field, which the
+        comparison engine never gates: distribution summaries are for
+        reading trends, the exact per-quantity ``cycles`` keys are for
+        regression detection.
+        """
+        from repro.obs.metrics import Histogram
+
+        finish = Histogram("segment.finish_cycles")
+        flows = Histogram("segment.flows_at_end")
+        attempts = Histogram("exec.attempts_per_segment")
+        for result in self.pap.segment_results:
+            finish.observe(result.metrics.finish_cycles)
+            flows.observe(result.metrics.flows_at_end)
+        health = self.pap.extra.get("health", {})
+        for count in health.get("attempts", {}).values():
+            attempts.observe(count)
+        return {
+            "segment_finish_cycles": finish.quantiles(),
+            "segment_flows_at_end": flows.quantiles(),
+            "segment_attempts": attempts.quantiles(),
+        }
+
 
 def run_benchmark(
     benchmark: BenchmarkInstance,

@@ -1,6 +1,11 @@
 """Tests for the counter/gauge/histogram metrics registry."""
 
+import json
+
+import pytest
+
 from repro.obs.metrics import (
+    Histogram,
     MetricsRegistry,
     NULL_COUNTER,
     NULL_GAUGE,
@@ -100,6 +105,102 @@ class TestSnapshot:
         registry.gauge("b")
         registry.histogram("c")
         assert len(registry) == 3
+
+
+class TestStrictJson:
+    def test_never_set_gauge_snapshot_is_strict_json(self):
+        # Regression: the -inf max sentinel used to leak into the
+        # snapshot as -Infinity, which is not strict JSON.
+        registry = MetricsRegistry()
+        registry.gauge("g")  # created, never set
+        registry.histogram("h")  # created, never observed
+        snapshot = registry.snapshot()
+        assert snapshot["g"]["max"] is None
+        json.dumps(snapshot, allow_nan=False)
+
+    def test_gauge_max_appears_after_first_set(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(-5.0)
+        assert registry.snapshot()["g"]["max"] == -5.0
+
+    def test_gauge_observed_max_none_until_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        assert gauge.observed_max is None
+        gauge.set(3.0)
+        assert gauge.observed_max == 3.0
+
+
+class TestHistogramBuckets:
+    def test_snapshot_includes_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (1, 2, 5, 100):
+            histogram.observe(value)
+        snapshot = registry.snapshot()["h"]
+        # String keys (JSON object keys) sorted by exponent.
+        assert snapshot["buckets"] == {"0": 1, "1": 1, "3": 1, "7": 1}
+        json.dumps(snapshot, allow_nan=False)
+
+    def test_empty_histogram_has_empty_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        snapshot = registry.snapshot()["h"]
+        assert snapshot["buckets"] == {}
+        assert snapshot["quantiles"] is None
+
+
+class TestQuantiles:
+    def test_empty_histogram_quantile_is_none(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantiles() is None
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = Histogram("h")
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_single_bucket_clamps_to_observed_bounds(self):
+        histogram = Histogram("h")
+        histogram.observe(100)
+        # One observation: every quantile is that exact value (the
+        # bucket interpolation is clamped to observed min/max).
+        assert histogram.quantile(0.0) == 100
+        assert histogram.quantile(0.5) == 100
+        assert histogram.quantile(1.0) == 100
+
+    def test_quantiles_are_monotone(self):
+        histogram = Histogram("h")
+        for value in (1, 3, 9, 30, 100, 500, 2000, 5000):
+            histogram.observe(value)
+        summary = histogram.quantiles()
+        assert summary is not None
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert histogram.min_value <= summary["p50"]
+        assert summary["p99"] <= histogram.max_value
+
+    def test_p99_lands_in_top_bucket(self):
+        histogram = Histogram("h")
+        for _ in range(98):
+            histogram.observe(10)
+        histogram.observe(5000)
+        histogram.observe(5000)
+        summary = histogram.quantiles()
+        assert summary["p50"] <= 16  # 10 lives in the (8, 16] bucket
+        assert summary["p99"] > 16
+
+    def test_snapshot_quantiles_match_method(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (4, 8, 15, 16, 23, 42):
+            histogram.observe(value)
+        assert registry.snapshot()["h"]["quantiles"] == (
+            histogram.quantiles()
+        )
 
 
 class TestNullRegistry:

@@ -1,0 +1,101 @@
+"""Tests for the OpenMetrics text exposition (render + parse)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("exec.dispatches").inc(5)
+    registry.gauge("svc.peak_occupancy").set(12)
+    histogram = registry.histogram("segment.finish_cycles")
+    for value in (100, 900, 4000):
+        histogram.observe(value)
+    return registry
+
+
+class TestMetricName:
+    def test_sanitizes_separators(self):
+        assert metric_name("svc.peak_occupancy") == (
+            "repro_svc_peak_occupancy"
+        )
+        assert metric_name("a-b c", prefix="") == "a_b_c"
+
+    def test_prefix_optional(self):
+        assert metric_name("x", prefix="") == "x"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        text = render_openmetrics(_registry().snapshot())
+        assert "# TYPE repro_exec_dispatches counter" in text
+        assert "repro_exec_dispatches_total 5" in text
+
+    def test_gauge_with_max(self):
+        text = render_openmetrics(_registry().snapshot())
+        assert "repro_svc_peak_occupancy 12" in text
+        assert "repro_svc_peak_occupancy_max 12" in text
+
+    def test_never_set_gauge_omits_max_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        text = render_openmetrics(registry.snapshot())
+        assert "repro_g 0" in text
+        assert "repro_g_max" not in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_openmetrics(_registry().snapshot())
+        # 100 -> 2**7, 900 -> 2**10, 4000 -> 2**12; cumulative counts.
+        assert 'repro_segment_finish_cycles_bucket{le="128"} 1' in text
+        assert 'repro_segment_finish_cycles_bucket{le="1024"} 2' in text
+        assert 'repro_segment_finish_cycles_bucket{le="4096"} 3' in text
+        assert 'repro_segment_finish_cycles_bucket{le="+Inf"} 3' in text
+        assert "repro_segment_finish_cycles_count 3" in text
+
+    def test_quantile_series(self):
+        text = render_openmetrics(_registry().snapshot())
+        assert 'repro_segment_finish_cycles_quantile{quantile="0.5"}' in (
+            text
+        )
+        assert 'quantile{quantile="0.99"}' in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics({}).strip() == "# EOF"
+        assert render_openmetrics(_registry().snapshot()).endswith(
+            "# EOF\n"
+        )
+
+    def test_deterministic(self):
+        snapshot = _registry().snapshot()
+        assert render_openmetrics(snapshot) == render_openmetrics(snapshot)
+
+
+class TestParse:
+    def test_round_trip(self):
+        registry = _registry()
+        samples = parse_openmetrics(
+            render_openmetrics(registry.snapshot())
+        )
+        assert samples["repro_exec_dispatches_total"] == 5
+        assert samples["repro_svc_peak_occupancy"] == 12
+        assert (
+            samples['repro_segment_finish_cycles_bucket{le="+Inf"}'] == 3
+        )
+
+    def test_rejects_garbage_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_openmetrics("!!! not a sample\n# EOF\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_openmetrics("metric notanumber\n# EOF\n")
+
+    def test_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("metric 1\n")
