@@ -8,6 +8,9 @@
   (``--profile``), and machine-readable output (``--format json``);
 * ``trace`` — record a run's trace to Perfetto-loadable JSON, or
   validate/summarize an existing trace file;
+* ``profile`` — phase-attribution profile of one run: where the cycles
+  (and wall time) go, verified to sum exactly to the run's totals,
+  with collapsed-stack and speedscope exports;
 * ``bench`` — benchmark artifacts and regression gating: ``run``
   captures a ``BENCH_*.json``, ``compare`` diffs two artifacts under
   the dual-domain tolerance policy, ``report`` renders one;
@@ -73,8 +76,13 @@ from repro.obs import (
     parse_openmetrics,
     read_ledger,
     render_openmetrics,
+    render_phase_profile,
     summarize_ledger,
+    to_folded,
+    to_speedscope,
     validate_chrome_trace,
+    validate_speedscope,
+    verify_phase_totals,
 )
 from repro.perf import (
     CYCLE_DOMAIN,
@@ -442,6 +450,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if run.reports_match else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.validate:
+        try:
+            with open(args.target, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            validate_speedscope(payload)
+        except (OSError, ValueError) as error:
+            print(f"invalid profile {args.target!r}: {error}")
+            return 1
+        profiles = payload.get("profiles", [])
+        events = sum(len(p.get("events", [])) for p in profiles)
+        print(
+            f"{args.target}: valid speedscope profile "
+            f"({len(profiles)} profile(s), {events} events, "
+            f"{len(payload['shared']['frames'])} frames)"
+        )
+        return 0
+    if args.target not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {args.target!r} (see `repro list`); "
+            "to check an existing speedscope file use --validate"
+        )
+    bench = build_benchmark(args.target, scale=args.scale, seed=args.seed)
+    config = (
+        replace(DEFAULT_CONFIG, use_fiv=False)
+        if args.no_fiv
+        else DEFAULT_CONFIG
+    )
+    try:
+        backend = resolve_backend(args.backend, workers=args.workers)
+    except ConfigurationError as error:
+        print(f"repro profile: {error}", file=sys.stderr)
+        return 2
+    # A tracer enables the wall-phase accumulator, so the table carries
+    # host time alongside the exact cycle attribution.
+    tracer = Tracer()
+    try:
+        run = run_benchmark(
+            bench,
+            ranks=args.ranks,
+            trace_bytes=args.trace_bytes,
+            modeled_bytes=PAPER_BYTES.get(args.model_input),
+            trace_seed=args.seed + 1,
+            config=config,
+            observer=tracer,
+            backend=backend,
+        )
+    finally:
+        backend.close()
+    # The accounting identities are checked on every invocation — a
+    # profile whose rows don't sum to the run is worse than none.
+    check = verify_phase_totals(run.pap)
+    phases = run.pap.phases
+    out_stream = sys.stderr if args.format == "json" else sys.stdout
+    if args.format == "json":
+        print(json.dumps({"benchmark": run.name, **phases}, indent=2))
+    else:
+        print(f"benchmark        : {run.name} (scale {args.scale})")
+        print(render_phase_profile(phases, per_segment=not args.totals_only))
+        print(
+            f"accounting       : {check['checks']} identities verified "
+            f"across {check['segments']} segment(s), "
+            f"{check['accounted_cycles']} cycles accounted"
+        )
+    if args.speedscope:
+        payload = to_speedscope(phases, name=f"{run.name} phase profile")
+        validate_speedscope(payload)
+        with open(args.speedscope, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(
+            f"profile written  : {args.speedscope} "
+            "(open in speedscope.app)",
+            file=out_stream,
+        )
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(to_folded(phases, root=run.name))
+        print(
+            f"folded written   : {args.folded} (collapsed-stack format)",
+            file=out_stream,
+        )
+    return 0 if run.reports_match else 1
+
+
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     try:
         names = select_benchmarks(args.benchmarks)
@@ -587,6 +679,28 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
         metrics = summary.get("metrics", {})
         if metrics:
             print(f"metrics          : {len(metrics)} instruments")
+        workers = summary.get("workers")
+        if workers:
+            print(
+                f"workers          : {len(workers['pids'])} pid(s), "
+                f"{workers['batches']} batches, "
+                f"{workers['records']} shipped records"
+            )
+            print(
+                f"worker wall      : {workers['worker_wall_ms']:.2f} ms "
+                f"measured in-worker vs {workers['dispatch_wall_ms']:.2f} ms "
+                f"across {workers['dispatches']} dispatch span(s)"
+            )
+            for pid, row in sorted(workers["per_pid"].items()):
+                segments = ",".join(str(s) for s in row["segments"])
+                print(
+                    f"  pid {pid:<10}: {row['records']} records in "
+                    f"{row['batches']} batch(es), "
+                    f"{row['worker_wall_ms']:.2f} ms, "
+                    f"compile {row['compile_hits']} hit/"
+                    f"{row['compile_misses']} miss, "
+                    f"segments [{segments}]"
+                )
         return 0
     try:
         samples = parse_openmetrics(text)
@@ -970,6 +1084,62 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--trace-bytes", type=int, default=65_536)
     _add_common(trace_parser)
 
+    profile_parser = commands.add_parser(
+        "profile",
+        help="phase-attribution profile of one run (repro.obs.phases)",
+        description=(
+            "Run one benchmark and attribute its cost to execution "
+            "phases (transition / switch / convergence / decode / "
+            "report) in both the cycle and wall domains. Cycle rows "
+            "are verified to sum exactly to the run's totals before "
+            "anything is printed. Exports: --speedscope (open in "
+            "speedscope.app) and --folded (flamegraph collapsed-stack "
+            "format); --validate checks an existing speedscope file."
+        ),
+    )
+    profile_parser.add_argument(
+        "target",
+        help="benchmark name, or a speedscope .json with --validate",
+    )
+    profile_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="treat TARGET as a speedscope file and check its shape",
+    )
+    profile_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="phase summary output format",
+    )
+    profile_parser.add_argument(
+        "--totals-only",
+        action="store_true",
+        help="omit the per-segment rows from the table",
+    )
+    profile_parser.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write the cycle attribution as a speedscope JSON profile",
+    )
+    profile_parser.add_argument(
+        "--folded",
+        metavar="PATH",
+        help="write the cycle attribution as collapsed stacks",
+    )
+    profile_parser.add_argument(
+        "--ranks", type=int, default=1, choices=(1, 2, 4)
+    )
+    profile_parser.add_argument("--trace-bytes", type=int, default=65_536)
+    profile_parser.add_argument(
+        "--model-input",
+        choices=("1MB", "10MB"),
+        default="1MB",
+        help="paper input size the trace stands in for",
+    )
+    _add_backend(profile_parser)
+    _add_common(profile_parser)
+
     bench_parser = commands.add_parser(
         "bench",
         help="benchmark artifacts and regression gating (repro.perf)",
@@ -1256,6 +1426,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "bench": _cmd_bench,
     "obs": _cmd_obs,
     "match": _cmd_match,

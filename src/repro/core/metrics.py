@@ -56,6 +56,15 @@ class PAPRunResult:
         serial downgrade.  Empty when the run predates health tracking."""
         return self.extra.get("health", {})
 
+    @property
+    def phases(self) -> dict:
+        """Phase-attribution summary (``extra["phases"]``): per-phase
+        cycle totals that provably sum to the run's totals, plus wall
+        phases when a recording observer was attached — see
+        :mod:`repro.obs.phases`.  Empty when the run predates phase
+        accounting."""
+        return self.extra.get("phases", {})
+
     # -- aggregates across segments ----------------------------------------
 
     @property

@@ -46,6 +46,7 @@ from repro.exec.resilience import (
     RunHealth,
 )
 from repro.host.reporting import report_processing_cycles
+from repro.obs.phases import summarize_run_phases
 from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, TRACK_RUN, Observer
 
 _EMPTY_STATS = FlowReductionStats(0, 0, 0, 0)
@@ -401,7 +402,7 @@ class ParallelAutomataProcessor:
             args={"reports": len(reports)},
         )
 
-        return PAPRunResult(
+        result = PAPRunResult(
             reports=reports,
             plans=plan.segments,
             segment_results=tuple(segment_results),
@@ -421,3 +422,10 @@ class ParallelAutomataProcessor:
             input_bytes=len(data),
             extra={"svc": svc_totals, "health": health.to_dict()},
         )
+        # Phase attribution (repro.obs.phases): cycle phases derive
+        # from the result itself; wall phases arrive via the observer
+        # (including worker-shipped rows merged by the process backend).
+        result.extra["phases"] = summarize_run_phases(
+            result, wall=obs.phases
+        )
+        return result

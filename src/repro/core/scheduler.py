@@ -39,6 +39,7 @@ timing live in :mod:`repro.core.composition` and :mod:`repro.core.pap`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.execution import CompiledAutomaton, FlowExecution
@@ -47,6 +48,11 @@ from repro.ap.state_vector import StateVector, StateVectorCache
 from repro.core.config import PAPConfig
 from repro.core.merging import FlowReductionStats, PlannedFlow
 from repro.core.partitioning import InputSegment
+from repro.obs.phases import (
+    PHASE_CONVERGENCE,
+    PHASE_SWITCH,
+    PHASE_TRANSITION,
+)
 from repro.obs.tracer import NULL_OBSERVER, Observer
 
 ASG_FLOW_ID = -1
@@ -199,7 +205,17 @@ class SegmentScheduler:
             },
         )
         execution = FlowExecution(self.compiled)
-        execution.run(data[segment.start : segment.end], segment.start)
+        phases = obs.phases
+        if phases.enabled:
+            wall0 = perf_counter_ns()
+            execution.run(data[segment.start : segment.end], segment.start)
+            phases.add(
+                PHASE_TRANSITION,
+                segment.index,
+                perf_counter_ns() - wall0,
+            )
+        else:
+            execution.run(data[segment.start : segment.end], segment.start)
         buffer = OutputEventBuffer(observer=obs, track=track)
         buffer.push_all(execution.reports, GOLDEN_FLOW_ID)
         events = buffer.drain()
@@ -332,6 +348,14 @@ class SegmentScheduler:
         slice_symbols = config.tdm_slice_symbols
         switch_cost = config.timing.context_switch_cycles
 
+        # Wall-domain phase accounting (repro.obs.phases).  Disabled,
+        # this is one attribute read here and plain branches below —
+        # the clock is never touched.  Enabled, costs accumulate into
+        # locals and flush to the recorder once per segment.
+        phases = obs.phases
+        profiling = phases.enabled
+        wall_transition = wall_switch = wall_convergence = 0
+
         while position < segment.end:
             length = min(slice_symbols, segment.end - position)
             live = [flow for flow in flows if flow.alive]
@@ -343,7 +367,14 @@ class SegmentScheduler:
                 if flow.kind != "asg":
                     continue
                 if pay_switch and step > 0:
-                    svc.restore(flow.flow_id)
+                    if profiling:
+                        wall0 = perf_counter_ns()
+                        svc.restore(flow.flow_id)
+                        wall_switch += perf_counter_ns() - wall0
+                    else:
+                        svc.restore(flow.flow_id)
+                if profiling:
+                    wall0 = perf_counter_ns()
                 consumed = self._process_asg_slice(
                     flow,
                     data,
@@ -352,15 +383,29 @@ class SegmentScheduler:
                     asg_snapshots,
                     first_step=step == 0,
                 )
+                if profiling:
+                    wall_transition += perf_counter_ns() - wall0
                 time += consumed + (switch_cost if pay_switch else 0)
             asg_end = asg_snapshots.get(length, frozenset())
             for flow in live:
                 if flow.kind == "asg" and pay_switch:
-                    svc.save(flow.flow_id, StateVector(active=asg_end))
+                    if profiling:
+                        wall0 = perf_counter_ns()
+                        svc.save(flow.flow_id, StateVector(active=asg_end))
+                        wall_switch += perf_counter_ns() - wall0
+                    else:
+                        svc.save(flow.flow_id, StateVector(active=asg_end))
                 if flow.kind != "enum":
                     continue
                 if pay_switch and step > 0:
-                    svc.restore(flow.flow_id)
+                    if profiling:
+                        wall0 = perf_counter_ns()
+                        svc.restore(flow.flow_id)
+                        wall_switch += perf_counter_ns() - wall0
+                    else:
+                        svc.restore(flow.flow_id)
+                if profiling:
+                    wall0 = perf_counter_ns()
                 consumed = self._process_slice(
                     flow,
                     data,
@@ -374,8 +419,12 @@ class SegmentScheduler:
                     time_base=time,
                     track=track,
                 )
+                if profiling:
+                    wall_transition += perf_counter_ns() - wall0
                 time += consumed + (switch_cost if pay_switch else 0)
                 if flow.alive and (config.use_deactivation or pay_switch):
+                    if profiling:
+                        wall0 = perf_counter_ns()
                     vector = flow.execution.state_vector()
                     if config.use_deactivation and vector == asg_end:
                         self._deactivate(
@@ -391,6 +440,8 @@ class SegmentScheduler:
                         svc.save(
                             flow.flow_id, StateVector(active=vector)
                         )
+                    if profiling:
+                        wall_switch += perf_counter_ns() - wall0
             position += length
             step += 1
             metrics.tdm_steps = step
@@ -404,6 +455,8 @@ class SegmentScheduler:
                 )
 
             if fiv_pending and time >= fiv_time:
+                if profiling:
+                    wall0 = perf_counter_ns()
                 fiv_pending = False
                 metrics.fiv_applied_at = time
                 assert unit_truth is not None
@@ -431,12 +484,16 @@ class SegmentScheduler:
                         cycle=time,
                         args={"killed": metrics.fiv_invalidations},
                     )
+                if profiling:
+                    wall_switch += perf_counter_ns() - wall0
 
             if (
                 config.use_convergence
                 and step % config.convergence_period_steps == 0
             ):
                 before = metrics.convergence_comparisons
+                if profiling:
+                    wall0 = perf_counter_ns()
                 self._converge(
                     flows,
                     position,
@@ -446,6 +503,8 @@ class SegmentScheduler:
                     cycle=time,
                     track=track,
                 )
+                if profiling:
+                    wall_convergence += perf_counter_ns() - wall0
                 if not config.timing.convergence_checks_overlapped:
                     # Section 3.3.3: checks *can* be overlapped because
                     # the state vector cache is idle during symbol
@@ -456,6 +515,14 @@ class SegmentScheduler:
                     ) * config.timing.convergence_check_cycles
                     time += inline_cycles
                     metrics.convergence_check_cycles += inline_cycles
+
+        if profiling:
+            index = segment.index
+            phases.add(PHASE_TRANSITION, index, wall_transition)
+            if wall_switch:
+                phases.add(PHASE_SWITCH, index, wall_switch)
+            if wall_convergence:
+                phases.add(PHASE_CONVERGENCE, index, wall_convergence)
 
         metrics.symbol_cycles = sum(
             flow.execution.symbols_processed for flow in flows

@@ -56,6 +56,7 @@ from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton
@@ -85,6 +86,7 @@ from repro.exec.resilience import (
 )
 from repro.exec.worker import RunPayload, run_segment_task
 from repro.host.decode import false_path_decode_cycles
+from repro.obs.phases import PHASE_COMPOSE
 from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, Observer
 
 #: The spellable backend names accepted by :func:`resolve_backend` (and
@@ -197,7 +199,17 @@ class ExecutionBackend:
         span = obs.begin_span(
             f"compose[{result.plan.segment.index}]", track=TRACK_HOST
         )
-        composed = compose_segment(result, truth, ctx.analysis)
+        phases = obs.phases
+        if phases.enabled:
+            wall0 = perf_counter_ns()
+            composed = compose_segment(result, truth, ctx.analysis)
+            phases.add(
+                PHASE_COMPOSE,
+                result.plan.segment.index,
+                perf_counter_ns() - wall0,
+            )
+        else:
+            composed = compose_segment(result, truth, ctx.analysis)
         obs.end_span(
             span,
             args={
@@ -481,6 +493,9 @@ class ProcessPoolBackend(ExecutionBackend):
                 truth,
                 fiv_time,
                 worker_fault,
+                # Capture worker-side telemetry only when someone is
+                # listening; un-observed runs ship no extra pickles.
+                obs.enabled,
             )
         except BrokenProcessPool as error:
             self._teardown(wait=False)
@@ -531,6 +546,13 @@ class ProcessPoolBackend(ExecutionBackend):
                 "worker_wall_ms": task_result.wall_ns / 1e6,
             },
         )
+        if task_result.batch is not None:
+            # Merge the worker's shipped records under this dispatch
+            # span: per-pid tracks, re-based timestamps, worker.*
+            # metrics (see repro.obs.remote).
+            obs.ingest_worker_batch(
+                task_result.batch, span=span, segment=index
+            )
         return task_result.result
 
     def execute(

@@ -27,6 +27,8 @@ from repro.automata.execution import CompiledAutomaton
 from repro.core.config import PAPConfig
 from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
 from repro.exec.faults import CRASH, HANG, raise_fault
+from repro.obs.remote import RecordBatch, RecordingObserver
+from repro.obs.tracer import NULL_OBSERVER
 
 #: Test hook: when set in the environment, every worker task hard-exits
 #: instead of running, simulating a crashed worker process.  Used by the
@@ -47,21 +49,38 @@ class RunPayload:
 
 @dataclass(frozen=True)
 class SegmentTaskResult:
-    """One executed segment plus worker-side wall accounting."""
+    """One executed segment plus worker-side wall accounting.
+
+    ``batch`` is the worker's shipped telemetry
+    (:class:`~repro.obs.remote.RecordBatch`) when the parent asked for
+    capture; ``None`` otherwise, so un-observed runs pickle nothing
+    extra across the pool.
+    """
 
     result: SegmentResult
     wall_ns: int
     pid: int
+    batch: RecordBatch | None = None
 
 
 _cached_token: object = None
 _cached_scheduler: SegmentScheduler | None = None
+_cache_hits: int = 0
+_cache_misses: int = 0
 
 
-def _scheduler_for(token: object, payload: RunPayload) -> SegmentScheduler:
-    """The worker-local scheduler for ``token``, compiled on first use."""
-    global _cached_token, _cached_scheduler
+def _scheduler_for(
+    token: object, payload: RunPayload
+) -> tuple[SegmentScheduler, bool, int]:
+    """The worker-local scheduler for ``token``, compiled on first use.
+
+    Returns ``(scheduler, cache_hit, compile_wall_ns)`` so shipped
+    batches can expose the one-slot cache behaviour — pool reuse across
+    runs shows up as hits, alternating tokens as thrash.
+    """
+    global _cached_token, _cached_scheduler, _cache_hits, _cache_misses
     if _cached_scheduler is None or _cached_token != token:
+        start = time.perf_counter_ns()
         _cached_scheduler = SegmentScheduler(
             CompiledAutomaton(payload.automaton),
             AutomatonAnalysis(payload.automaton),
@@ -69,7 +88,10 @@ def _scheduler_for(token: object, payload: RunPayload) -> SegmentScheduler:
             payload.path_independent,
         )
         _cached_token = token
-    return _cached_scheduler
+        _cache_misses += 1
+        return _cached_scheduler, False, time.perf_counter_ns() - start
+    _cache_hits += 1
+    return _cached_scheduler, True, 0
 
 
 def run_segment_task(
@@ -79,6 +101,7 @@ def run_segment_task(
     unit_truth: dict[int, bool] | None,
     fiv_time: int | None,
     fault: tuple[str, float] | None = None,
+    capture: bool = False,
 ) -> SegmentTaskResult:
     """Execute one segment in this worker process.
 
@@ -86,6 +109,13 @@ def run_segment_task(
     :meth:`SegmentScheduler.run_segment` call in the parent: the
     scheduler is deterministic and the observer plays no part in the
     returned :class:`SegmentResult`.
+
+    ``capture`` (set when the parent's observer is enabled) attaches a
+    :class:`~repro.obs.remote.RecordingObserver` to the cached
+    scheduler for this task only, and ships everything it saw back as
+    ``SegmentTaskResult.batch``.  The observer is detached in a
+    ``finally`` so a fault mid-segment never leaks recording into the
+    next task's un-observed run.
 
     ``fault`` is an injected ``(kind, hang_seconds)`` drawn by the
     parent's :class:`~repro.exec.faults.FaultInjector` for *this*
@@ -105,12 +135,29 @@ def run_segment_task(
         else:
             raise_fault(kind, plan.segment.index)
     start = time.perf_counter_ns()
-    scheduler = _scheduler_for(token, payload)
-    result = scheduler.run_segment(
-        payload.data, plan, unit_truth=unit_truth, fiv_time=fiv_time
-    )
+    scheduler, cache_hit, compile_wall_ns = _scheduler_for(token, payload)
+    recorder: RecordingObserver | None = None
+    if capture:
+        recorder = RecordingObserver()
+        scheduler.observer = recorder
+    try:
+        result = scheduler.run_segment(
+            payload.data, plan, unit_truth=unit_truth, fiv_time=fiv_time
+        )
+    finally:
+        if recorder is not None:
+            scheduler.observer = NULL_OBSERVER
+    batch = None
+    if recorder is not None:
+        batch = recorder.to_batch(
+            compile_hit=cache_hit,
+            compile_wall_ns=compile_wall_ns,
+            compile_hits=_cache_hits,
+            compile_misses=_cache_misses,
+        )
     return SegmentTaskResult(
         result=result,
         wall_ns=time.perf_counter_ns() - start,
         pid=os.getpid(),
+        batch=batch,
     )

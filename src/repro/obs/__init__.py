@@ -4,8 +4,12 @@ The instrumentation spine of the simulator: a span/event tracer that
 records in both simulated-cycle and host wall-clock domains
 (:mod:`repro.obs.tracer`), a counter/gauge/histogram metrics registry
 (:mod:`repro.obs.metrics`), a Chrome trace-event exporter loadable in
-Perfetto (:mod:`repro.obs.chrome`), and a text profiler
-(:mod:`repro.obs.profile`).
+Perfetto (:mod:`repro.obs.chrome`), a text profiler
+(:mod:`repro.obs.profile`), a phase-attribution profiler
+(:mod:`repro.obs.phases`), and worker-side capture for the process
+backend (:mod:`repro.obs.remote`) — shipped record batches merge into
+the parent's timeline so ledgers and exports stay whole-run truthful
+across backends.
 
 The :class:`Observer` base class is a null object — hooks threaded
 through :class:`~repro.core.pap.ParallelAutomataProcessor`, the
@@ -21,6 +25,19 @@ event buffer cost near-zero until a :class:`Tracer` is attached::
 """
 
 from repro.obs.chrome import export_chrome_trace, validate_chrome_trace
+from repro.obs.phases import (
+    NULL_PHASES,
+    PhaseAccumulator,
+    PhaseAccountingError,
+    PhaseRecorder,
+    render_phase_profile,
+    summarize_run_phases,
+    to_folded,
+    to_speedscope,
+    validate_speedscope,
+    verify_phase_totals,
+)
+from repro.obs.remote import RecordBatch, RecordingObserver, merge_batch
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -36,6 +53,7 @@ from repro.obs.telemetry import (
     LEDGER_SCHEMA_VERSION,
     read_ledger,
     summarize_ledger,
+    summarize_workers,
 )
 from repro.obs.tracer import (
     CountingObserver,
@@ -67,18 +85,32 @@ __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "NULL_OBSERVER",
+    "NULL_PHASES",
     "NULL_REGISTRY",
     "NullMetricsRegistry",
     "Observer",
+    "PhaseAccountingError",
+    "PhaseAccumulator",
+    "PhaseRecorder",
+    "RecordBatch",
+    "RecordingObserver",
     "TraceEvent",
     "Tracer",
     "export_chrome_trace",
+    "merge_batch",
     "parse_openmetrics",
     "read_ledger",
     "render_openmetrics",
+    "render_phase_profile",
     "render_profile",
     "summarize_ledger",
+    "summarize_run_phases",
+    "summarize_workers",
+    "to_folded",
+    "to_speedscope",
     "validate_chrome_trace",
+    "validate_speedscope",
+    "verify_phase_totals",
 ]
 
 

@@ -31,6 +31,11 @@ DOMAINS = ("cycles", "wall")
 PROCESS_NAME = "PAP"
 _PID = 1
 
+#: Nesting tolerance in exported microseconds (1 ns): timestamps reach
+#: Perfetto as floats, so exact containment computed in nanoseconds can
+#: drift by one ulp after the /1000 conversion.
+_NEST_EPS_US = 1e-3
+
 
 def _timestamps(
     event: TraceEvent, domain: str, wall_base_ns: int
@@ -68,16 +73,51 @@ def export_chrome_trace(
         (event.wall_start_ns for event in events), default=0
     )
 
-    tids: dict[str, int] = {}
+    # Tracks map to Perfetto threads, but one tid can only render
+    # properly *nested* spans — and some tracks legitimately carry
+    # partially overlapping spans (concurrent dispatches on ``exec``
+    # under no-FIV prefetch, repeated runs reusing one seg track).
+    # Spans therefore get a greedy per-track *lane*: a span that would
+    # partially overlap an open span spills to the next lane, keyed
+    # ``(track, lane)`` -> tid, so every tid holds a clean span stack
+    # (the invariant validate_chrome_trace enforces).
+    tids: dict[tuple[str, int], int] = {}
+    lane_stacks: dict[tuple[str, int], list[float]] = {}
+
+    def tid_for(track: str, lane: int) -> int:
+        key = (track, lane)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+        return tid
+
+    def lane_for(track: str, ts: float, end: float) -> int:
+        lane = 0
+        while True:
+            stack = lane_stacks.setdefault((track, lane), [])
+            while stack and ts >= stack[-1] - _NEST_EPS_US:
+                stack.pop()
+            if stack and end > stack[-1] + _NEST_EPS_US:
+                lane += 1
+                continue
+            stack.append(end)
+            return lane
+
     trace_events: list[dict] = []
     for event in events:
-        tid = tids.get(event.track)
-        if tid is None:
-            tid = tids[event.track] = len(tids) + 1
         stamps = _timestamps(event, domain, wall_base_ns)
         if stamps is None:
+            # Domain dropped the event, but the track still appears as
+            # a named (empty) thread — matching historical exports.
+            tid_for(event.track, 0)
             continue
         ts, dur = stamps
+        if event.kind == SPAN:
+            tid = tid_for(
+                event.track, lane_for(event.track, ts, ts + (dur or 0.0))
+            )
+        else:
+            tid = tid_for(event.track, 0)
         record: dict[str, Any] = {
             "name": event.name,
             "pid": _PID,
@@ -109,14 +149,14 @@ def export_chrome_trace(
             "args": {"name": PROCESS_NAME},
         }
     ]
-    for track, tid in tids.items():
+    for (track, lane), tid in tids.items():
         metadata.append(
             {
                 "name": "thread_name",
                 "ph": "M",
                 "pid": _PID,
                 "tid": tid,
-                "args": {"name": track},
+                "args": {"name": track if lane == 0 else f"{track}/{lane}"},
             }
         )
 
@@ -142,7 +182,10 @@ def validate_chrome_trace(trace: Any) -> list[dict]:
     Returns the (non-metadata) event records on success; raises
     ``ValueError`` naming the first offending record otherwise.  This
     is deliberately strict about the fields Perfetto needs — ``name``,
-    ``ph``, ``ts``, ``pid``, ``tid``, and ``dur`` for complete events.
+    ``ph``, ``ts``, ``pid``, ``tid``, and ``dur`` for complete events —
+    and about the rendering invariant the exporter's lane assignment
+    guarantees: no two open spans may share a track (complete events on
+    one tid must nest properly, never partially overlap).
     """
     if not isinstance(trace, dict):
         raise ValueError("trace must be a JSON object")
@@ -174,4 +217,27 @@ def validate_chrome_trace(trace: Any) -> list[dict]:
         if phase == "C" and not isinstance(record.get("args"), dict):
             raise ValueError(f"{where} counter event missing 'args'")
         payload.append(record)
+
+    spans_by_tid: dict[int, list[tuple[float, float, int]]] = {}
+    for index, record in enumerate(events):
+        if isinstance(record, dict) and record.get("ph") == "X":
+            spans_by_tid.setdefault(record["tid"], []).append(
+                (record["ts"], record["dur"], index)
+            )
+    for tid, spans in spans_by_tid.items():
+        # Longest-first on ties so a parent opening with its child at
+        # the same timestamp is seen (and stacked) before the child.
+        spans.sort(key=lambda item: (item[0], -item[1]))
+        stack: list[float] = []
+        for ts, dur, index in spans:
+            end = ts + dur
+            while stack and ts >= stack[-1] - _NEST_EPS_US:
+                stack.pop()
+            if stack and end > stack[-1] + _NEST_EPS_US:
+                raise ValueError(
+                    f"traceEvents[{index}]: two open spans share tid "
+                    f"{tid} (span [{ts}, {end}] partially overlaps an "
+                    f"open span ending at {stack[-1]})"
+                )
+            stack.append(end)
     return payload

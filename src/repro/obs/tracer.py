@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullMetricsRegistry,
 )
+from repro.obs.phases import NULL_PHASES, PhaseAccumulator, PhaseRecorder
 
 TRACK_RUN = "run"
 TRACK_HOST = "host"
@@ -92,6 +93,11 @@ class Observer:
 
     enabled: bool = False
     metrics: MetricsRegistry = NULL_REGISTRY
+    #: Wall-domain phase accumulator (:mod:`repro.obs.phases`); the
+    #: null recorder's ``add`` is a no-op and ``enabled`` is ``False``,
+    #: so the scheduler's hot loop pays one attribute check when phase
+    #: profiling is off.
+    phases: PhaseRecorder = NULL_PHASES
     #: Correlation id threaded into dispatch spans and health records;
     #: only the flight recorder (:mod:`repro.obs.telemetry`) sets one.
     run_id: str | None = None
@@ -161,6 +167,22 @@ class Observer:
         write a crash bundle; the base observer ignores failures.
         """
 
+    def ingest_worker_batch(
+        self,
+        batch: Any,
+        *,
+        span: int = -1,
+        segment: int | None = None,
+    ) -> None:
+        """Merge a worker-shipped :class:`~repro.obs.remote.RecordBatch`
+        into this observer's timeline, metrics, and phase accounting.
+
+        ``span`` is the handle of the parent ``dispatch[i]`` span the
+        batch is parented under; ``segment`` the segment index it ran.
+        The null observer discards batches (workers only capture when
+        the parent observer is enabled, so this is the cold path).
+        """
+
     @contextmanager
     def span(
         self,
@@ -202,6 +224,7 @@ class Tracer(Observer):
         self.clock = clock if clock is not None else time.perf_counter_ns
         self.events: list[TraceEvent] = []
         self.metrics = MetricsRegistry()
+        self.phases = PhaseAccumulator()
         self._open_stacks: dict[str, list[int]] = {}
 
     # -- recording hooks -------------------------------------------------
@@ -313,6 +336,34 @@ class Tracer(Observer):
                 value=value,
             )
         )
+
+    # -- worker-batch ingestion ------------------------------------------
+
+    def ingest_worker_batch(
+        self,
+        batch: Any,
+        *,
+        span: int = -1,
+        segment: int | None = None,
+    ) -> None:
+        """Merge a worker's shipped records into this tracer.
+
+        Worker events land on per-pid tracks (``pid{pid}:{track}``)
+        with wall timestamps re-based into the parent's clock domain,
+        parented under the dispatch span ``span``; worker metrics fold
+        into the registry prefixed ``worker.``; worker wall-phase rows
+        fold into :attr:`phases`.  Implemented in
+        :mod:`repro.obs.remote` (imported lazily — only process-backend
+        runs pay for it).
+        """
+        from repro.obs.remote import merge_batch
+
+        merge_batch(self, batch, span=span, segment=segment)
+
+    def _ingest_event(self, event: TraceEvent) -> None:
+        """Append one re-based worker event.  The flight recorder
+        overrides this to also stream the record to its ledger."""
+        self.events.append(event)
 
     # -- introspection & export ------------------------------------------
 

@@ -129,11 +129,23 @@ class BenchmarkRun:
         health = self.pap.extra.get("health", {})
         for count in health.get("attempts", {}).values():
             attempts.observe(count)
-        return {
+        out = {
             "segment_finish_cycles": finish.quantiles(),
             "segment_flows_at_end": flows.quantiles(),
             "segment_attempts": attempts.quantiles(),
         }
+        phases = self.pap.extra.get("phases")
+        if phases:
+            # The run-level phase attribution (repro.obs.phases); like
+            # everything in this field it is carried for reading, never
+            # gated.  Wall rows are dropped — they are host noise and
+            # the artifact's cycle payload must stay machine-invariant.
+            out["phases"] = {
+                "cycles": dict(phases["cycles"]),
+                "accounted_cycles": phases["accounted_cycles"],
+                "hot_phase": phases["hot_phase"],
+            }
+        return out
 
 
 def run_benchmark(

@@ -111,6 +111,129 @@ class TestValidator:
         assert validate_chrome_trace(ok) == []
 
 
+class TestLaneAssignment:
+    def test_nested_spans_share_a_lane(self):
+        tracer = Tracer(clock=fake_clock())
+        outer = tracer.begin_span("outer", track="exec", cycle=0)
+        inner = tracer.begin_span("inner", track="exec", cycle=10)
+        tracer.end_span(inner, cycle=20)
+        tracer.end_span(outer, cycle=100)
+        trace = tracer.to_chrome(domain="cycles")
+        payload = validate_chrome_trace(trace)
+        spans = [e for e in payload if e["ph"] == "X"]
+        assert len({s["tid"] for s in spans}) == 1
+
+    def test_partially_overlapping_spans_spill_to_lanes(self):
+        tracer = Tracer(clock=fake_clock())
+        a = tracer.begin_span("a", track="exec", cycle=0)
+        b = tracer.begin_span("b", track="exec", cycle=50)
+        tracer.end_span(a, cycle=80)
+        tracer.end_span(b, cycle=120)
+        trace = tracer.to_chrome(domain="cycles")
+        payload = validate_chrome_trace(trace)  # nesting check passes
+        spans = {e["name"]: e["tid"] for e in payload if e["ph"] == "X"}
+        assert spans["a"] != spans["b"]
+        thread_names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"exec", "exec/1"} <= thread_names
+
+    def test_sequential_spans_reuse_lane_zero(self):
+        tracer = Tracer(clock=fake_clock())
+        for i in range(3):
+            span = tracer.begin_span(f"s{i}", track="exec", cycle=i * 100)
+            tracer.end_span(span, cycle=i * 100 + 50)
+        payload = validate_chrome_trace(tracer.to_chrome(domain="cycles"))
+        spans = [e for e in payload if e["ph"] == "X"]
+        assert len({s["tid"] for s in spans}) == 1
+
+    def test_validator_rejects_overlap_on_one_tid(self):
+        bad = {
+            "traceEvents": [
+                {
+                    "name": "a",
+                    "ph": "X",
+                    "ts": 0,
+                    "dur": 80,
+                    "pid": 1,
+                    "tid": 1,
+                },
+                {
+                    "name": "b",
+                    "ph": "X",
+                    "ts": 50,
+                    "dur": 70,
+                    "pid": 1,
+                    "tid": 1,
+                },
+            ]
+        }
+        with pytest.raises(ValueError, match="two open spans share tid"):
+            validate_chrome_trace(bad)
+
+    def test_validator_accepts_proper_nesting_on_one_tid(self):
+        ok = {
+            "traceEvents": [
+                {
+                    "name": "parent",
+                    "ph": "X",
+                    "ts": 0,
+                    "dur": 100,
+                    "pid": 1,
+                    "tid": 1,
+                },
+                {
+                    "name": "child",
+                    "ph": "X",
+                    "ts": 0,
+                    "dur": 40,
+                    "pid": 1,
+                    "tid": 1,
+                },
+            ]
+        }
+        assert len(validate_chrome_trace(ok)) == 2
+
+
+class TestWorkerTracks:
+    """Merged worker batches land on per-pid tracks and keep both
+    export domains valid — the acceptance criterion for the merged
+    timeline."""
+
+    @pytest.fixture(scope="class")
+    def merged_tracer(self):
+        from repro.exec import ProcessPoolBackend
+
+        bench = build_benchmark("Snort", scale=0.05, seed=0)
+        tracer = Tracer()
+        with ProcessPoolBackend(workers=1) as backend:
+            run_benchmark(
+                bench, trace_bytes=8_192, observer=tracer, backend=backend
+            )
+        return tracer
+
+    def test_worker_tracks_present(self, merged_tracer):
+        worker_tracks = {
+            t for t in merged_tracer.tracks() if t.startswith("pid")
+        }
+        assert worker_tracks
+        assert any(":seg" in t for t in worker_tracks)
+
+    @pytest.mark.parametrize("domain", ["cycles", "wall"])
+    def test_both_domains_validate_with_worker_spans(
+        self, merged_tracer, domain
+    ):
+        payload = validate_chrome_trace(
+            merged_tracer.to_chrome(domain=domain)
+        )
+        assert any(
+            e["ph"] == "X" and "args" in e and "pid" in e["args"]
+            for e in payload
+        )
+
+
 class TestEndToEnd:
     """The acceptance-criteria trace: real run, real content."""
 

@@ -214,6 +214,80 @@ class TestObsSummary:
     def test_missing_file_exits_one(self, tmp_path, capsys):
         assert main(["obs", "summary", str(tmp_path / "nope")]) == 1
 
+    def test_serial_ledger_has_no_workers_section(
+        self, run_artifacts, capsys
+    ):
+        ledger, _ = run_artifacts
+        assert main(["obs", "summary", str(ledger)]) == 0
+        assert "workers" not in capsys.readouterr().out
+
+
+class TestObsSummaryWorkers:
+    @pytest.fixture(scope="class")
+    def process_ledger(self, tmp_path_factory):
+        """One process-backend run whose ledger carries worker batches."""
+        ledger = tmp_path_factory.mktemp("obs-workers") / "run.jsonl"
+        code = main(
+            [
+                "run",
+                "Bro217",
+                "--scale",
+                "0.05",
+                "--trace-bytes",
+                "4096",
+                "--backend",
+                "process",
+                "--workers",
+                "1",
+                "--ledger",
+                str(ledger),
+            ]
+        )
+        assert code == 0
+        return ledger
+
+    def test_text_summary_grows_worker_section(
+        self, process_ledger, capsys
+    ):
+        assert main(["obs", "summary", str(process_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "workers          :" in out
+        assert "worker wall      :" in out
+        assert "compile" in out and "hit" in out
+
+    def test_json_summary_carries_worker_rollup(
+        self, process_ledger, capsys
+    ):
+        code = main(
+            ["obs", "summary", str(process_ledger), "--format", "json"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        workers = summary["workers"]
+        assert workers["batches"] >= 1
+        assert workers["records"] >= workers["batches"]
+        assert workers["dispatches"] == workers["batches"]
+        assert len(workers["pids"]) == 1
+        per_pid = workers["per_pid"][str(workers["pids"][0])]
+        assert per_pid["compile_hits"] + per_pid["compile_misses"] == (
+            per_pid["batches"]
+        )
+
+    def test_worker_records_carry_lineage_in_ledger(self, process_ledger):
+        records = read_ledger(str(process_ledger))
+        run_id = records[0]["run"]
+        worker_lines = [
+            r
+            for r in records
+            if str(r.get("track", "")).startswith("pid")
+        ]
+        assert worker_lines
+        for record in worker_lines:
+            args = record.get("args") or {}
+            assert args.get("pid")
+            assert args.get("parent_span") is not None
+            assert args.get("run") == run_id
+
 
 class TestObsExport:
     def test_export_openmetrics_to_file(
