@@ -29,10 +29,14 @@ scheduler time-slices many flows over one automaton.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.automata.anml import Automaton
+
+if TYPE_CHECKING:
+    from repro.automata.vector import VectorTables
 
 
 @dataclass(frozen=True, order=True)
@@ -67,6 +71,7 @@ class CompiledAutomaton:
         "start_of_data",
         "all_input",
         "latchable",
+        "_vector_tables",
     )
 
     def __init__(self, automaton: Automaton) -> None:
@@ -91,9 +96,25 @@ class CompiledAutomaton:
             for ste in automaton.states()
             if ste.label.is_full() and automaton.has_self_loop(ste.sid)
         )
+        self._vector_tables: object | None = None
 
     def __len__(self) -> int:
         return len(self.succ)
+
+    def vector_tables(self) -> "VectorTables":
+        """The bit-parallel transition tables for this automaton.
+
+        Built on first use and cached, so only runs that select the
+        vector strategy pay the compilation cost (and the NumPy
+        import).  See :mod:`repro.automata.vector`.
+        """
+        tables = self._vector_tables
+        if tables is None:
+            from repro.automata.vector import VectorTables
+
+            tables = VectorTables(self)
+            self._vector_tables = tables
+        return tables  # type: ignore[return-value]
 
 
 class FlowExecution:
@@ -185,7 +206,12 @@ class FlowExecution:
         self._latched.add(sid)
         self._volatile.discard(sid)
         if sid in compiled.reporting:
-            self._latched_reports.append(sid)
+            # Sorted insertion keeps latched-report order a pure function
+            # of the latched set, never of latch arrival order or of set
+            # iteration order.  Without it, :meth:`clone` — which rebuilds
+            # this list by iterating a ``state_vector()`` frozenset —
+            # could reorder ``reports`` relative to the original flow.
+            insort(self._latched_reports, sid)
         automaton = compiled.automaton
         for dst in compiled.succ[sid]:
             if dst in self._latched or dst in self.excluded:
@@ -255,16 +281,27 @@ class FlowExecution:
 
         if compiled.reporting:
             codes = compiled.report_codes
-            if self._latched_reports:
+            hits = fresh & compiled.reporting
+            # Each step's events are emitted in ascending sid order (the
+            # latched list is kept sorted; a fresh batch is sorted and
+            # merged in).  This makes the reports *list* — not just its
+            # set — a pure function of the execution semantics, which is
+            # what lets the vector executor reproduce it bit-for-bit.
+            if hits:
+                if self._latched_reports:
+                    sids: list[int] = sorted(
+                        [*self._latched_reports, *hits]
+                    )
+                else:
+                    sids = sorted(hits)
+                self.reports.extend(
+                    Report(offset=offset, element=sid, code=codes[sid])
+                    for sid in sids
+                )
+            elif self._latched_reports:
                 self.reports.extend(
                     Report(offset=offset, element=sid, code=codes[sid])
                     for sid in self._latched_reports
-                )
-            hits = fresh & compiled.reporting
-            if hits:
-                self.reports.extend(
-                    Report(offset=offset, element=sid, code=codes[sid])
-                    for sid in hits
                 )
 
     def run(self, data: bytes, base_offset: int = 0) -> None:

@@ -111,7 +111,9 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         default="serial",
         help=(
             "host execution backend (repro.exec); 'process' runs "
-            "segments in worker processes, cycle metrics are identical"
+            "segments in worker processes, 'vector' steps flows with "
+            "the NumPy bit-parallel executor — cycle metrics are "
+            "identical across all backends"
         ),
     )
     parser.add_argument(

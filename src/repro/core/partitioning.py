@@ -39,12 +39,13 @@ def partition_input(
     symbol: int | None = None,
     snap_window: int | None = None,
 ) -> list[InputSegment]:
-    """Split ``data`` into up to ``num_segments`` segments.
+    """Split ``data`` into ``min(num_segments, len(data))`` segments.
 
     Cuts snap to the closest occurrence of ``symbol`` within
     ``snap_window`` bytes of each equal-size target (default window:
-    half a segment).  Degenerate inputs yield fewer segments; an empty
-    input yields none.
+    half a segment) but never past the *next* segment's target, so the
+    requested segment count is always delivered — callers size their
+    flow plans for it.  An empty input yields no segments.
     """
     if num_segments < 1:
         raise ConfigurationError("need at least one segment")
@@ -58,9 +59,21 @@ def partition_input(
     boundaries: list[int] = [0]
     for index in range(1, num_segments):
         target = round(index * target_length)
-        cut = _snap(data, target, symbol, snap_window, boundaries[-1])
-        if cut is None or cut <= boundaries[-1] or cut >= len(data):
-            continue
+        # A cut may snap within its window but never *across the next
+        # target*: an overshooting cut would eat its successor's whole
+        # region and silently cost the caller a segment.
+        ceiling = round((index + 1) * target_length) - 1
+        cut = _snap(
+            data, target, symbol, snap_window, boundaries[-1], ceiling
+        )
+        if cut <= boundaries[-1]:
+            # The window held no usable occurrence above the previous
+            # boundary and the unsnapped target itself is spoken for
+            # (the previous cut snapped up to this segment's region).
+            # Take the earliest remaining position — a short segment
+            # beats a lost one; correctness never depends on where the
+            # boundary lands, only enumeration cost does.
+            cut = max(target, boundaries[-1] + 1)
         boundaries.append(cut)
     boundaries.append(len(data))
 
@@ -87,6 +100,16 @@ class BoundaryProfile:
     ``off_symbol`` the ones where no occurrence fell inside the snap
     window (their successors enumerate a different — usually wider —
     range), and the length fields bound the per-segment work.
+
+    Contract: ``snapped`` and ``off_symbol`` classify only the
+    ``num_segments - 1`` *interior* boundaries (the first segment starts
+    at offset 0 and has no boundary symbol), so for any non-empty
+    partition ``snapped + off_symbol == num_segments - 1``.  The length
+    statistics (``min_length`` / ``max_length`` / ``mean_length``) are
+    computed over all ``num_segments`` segments.  In particular a
+    one-segment profile has ``snapped == off_symbol == 0`` while its
+    length fields still describe the single segment — a reader must not
+    infer "no boundaries" from the counts alone.
     """
 
     num_segments: int
@@ -139,22 +162,26 @@ def _snap(
     symbol: int | None,
     window: int,
     floor: int,
-) -> int | None:
+    ceiling: int,
+) -> int:
     """The cut position nearest ``target``: just after an occurrence of
-    ``symbol`` when one lies within the window, else ``target``."""
+    ``symbol`` when one lies within the window, else ``target``.  Cuts
+    stay in ``(floor, ceiling]`` — ``ceiling`` is one short of the next
+    segment's target, which is what guarantees every later segment
+    still has room (see :func:`partition_input`)."""
     if symbol is None:
         return target
     # The scan is inclusive of ``target + window`` (an occurrence exactly
     # at the window edge is still in range) but stops at ``len(data) - 2``:
     # cutting after the input's last byte is no cut at all.
     lo = max(floor, target - window)
-    hi = min(len(data) - 2, target + window)
-    best: int | None = None
+    hi = min(len(data) - 2, target + window, ceiling - 1)
+    best = -1
     best_distance = 0
     for position in range(lo, hi + 1):
         if data[position] == symbol:
             distance = abs(position + 1 - target)
-            if best is None or distance < best_distance:
+            if best < 0 or distance < best_distance:
                 best = position + 1  # cut *after* the symbol
                 best_distance = distance
-    return best if best is not None else target
+    return best if best >= 0 else target

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter_ns
+from typing import TYPE_CHECKING
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.execution import CompiledAutomaton, FlowExecution
@@ -48,12 +49,24 @@ from repro.ap.state_vector import StateVector, StateVectorCache
 from repro.core.config import PAPConfig
 from repro.core.merging import FlowReductionStats, PlannedFlow
 from repro.core.partitioning import InputSegment
+from repro.errors import ConfigurationError
 from repro.obs.phases import (
     PHASE_CONVERGENCE,
     PHASE_SWITCH,
     PHASE_TRANSITION,
 )
 from repro.obs.tracer import NULL_OBSERVER, Observer
+
+if TYPE_CHECKING:
+    from repro.automata.vector import VectorFlowExecution
+
+    AnyFlowExecution = FlowExecution | VectorFlowExecution
+
+#: Flow-stepping strategies a scheduler can run.  Both are bit-exact in
+#: the cycle domain — reports, transitions and state vectors are
+#: byte-identical — they differ only in host wall-clock (see
+#: :mod:`repro.automata.vector` for the crossover).
+STRATEGY_NAMES = ("set", "vector")
 
 ASG_FLOW_ID = -1
 GOLDEN_FLOW_ID = -2
@@ -128,14 +141,23 @@ class SegmentResult:
 @dataclass
 class _RuntimeFlow:
     flow_id: int
-    execution: FlowExecution
+    execution: "AnyFlowExecution"
     unit_ids: list[int]
     kind: str  # "enum" | "asg" | "golden"
     alive: bool = True
 
 
 class SegmentScheduler:
-    """Runs segments of one automaton under one configuration."""
+    """Runs segments of one automaton under one configuration.
+
+    ``strategy`` selects how flows step: ``"set"`` is the active-set
+    walk of :class:`FlowExecution`; ``"vector"`` the bit-parallel
+    executor of :mod:`repro.automata.vector`.  The scheduler only ever
+    touches the shared flow surface (``run`` / ``reports`` /
+    ``transitions`` / ``state_vector``), so every cycle-domain decision
+    — deactivation, convergence, SVC traffic, metrics — is strategy-
+    invariant by construction.
+    """
 
     def __init__(
         self,
@@ -144,12 +166,28 @@ class SegmentScheduler:
         config: PAPConfig,
         path_independent: frozenset[int],
         observer: Observer | None = None,
+        *,
+        strategy: str = "set",
     ) -> None:
+        if strategy not in STRATEGY_NAMES:
+            raise ConfigurationError(
+                f"unknown flow strategy {strategy!r} "
+                f"(expected one of {', '.join(STRATEGY_NAMES)})"
+            )
         self.compiled = compiled
         self.analysis = analysis
         self.config = config
         self.path_independent = path_independent
         self.observer = observer if observer is not None else NULL_OBSERVER
+        self.strategy = strategy
+
+    def _new_flow(self, **kwargs: object) -> "AnyFlowExecution":
+        """One flow execution under the configured stepping strategy."""
+        if self.strategy == "vector":
+            from repro.automata.vector import VectorFlowExecution
+
+            return VectorFlowExecution(self.compiled, **kwargs)  # type: ignore[arg-type]
+        return FlowExecution(self.compiled, **kwargs)  # type: ignore[arg-type]
 
     # -- public API --------------------------------------------------------
 
@@ -204,7 +242,7 @@ class SegmentScheduler:
                 "end": segment.end,
             },
         )
-        execution = FlowExecution(self.compiled)
+        execution = self._new_flow()
         phases = obs.phases
         if phases.enabled:
             wall0 = perf_counter_ns()
@@ -259,8 +297,7 @@ class SegmentScheduler:
             flows.append(
                 _RuntimeFlow(
                     flow_id=ASG_FLOW_ID,
-                    execution=FlowExecution(
-                        self.compiled,
+                    execution=self._new_flow(
                         initial_current=plan.asg_initial,
                         persistent=self.path_independent,
                         one_shot=frozenset(),
@@ -273,8 +310,7 @@ class SegmentScheduler:
             flows.append(
                 _RuntimeFlow(
                     flow_id=planned.flow_id,
-                    execution=FlowExecution(
-                        self.compiled,
+                    execution=self._new_flow(
                         initial_current=(
                             planned.initial_current() | plan.asg_initial
                         ),

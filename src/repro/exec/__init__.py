@@ -15,6 +15,7 @@ from repro.exec.backend import (
     SegmentOutcome,
     SerialBackend,
     TRACK_EXEC,
+    VectorBackend,
     resolve_backend,
 )
 from repro.exec.faults import (
@@ -44,5 +45,6 @@ __all__ = [
     "SegmentOutcome",
     "SerialBackend",
     "TRACK_EXEC",
+    "VectorBackend",
     "resolve_backend",
 ]

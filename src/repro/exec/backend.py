@@ -91,7 +91,7 @@ from repro.obs.tracer import NULL_OBSERVER, TRACK_HOST, Observer
 
 #: The spellable backend names accepted by :func:`resolve_backend` (and
 #: the CLI's ``--backend`` flag).
-BACKEND_NAMES = ("serial", "process")
+BACKEND_NAMES = ("serial", "process", "vector")
 
 
 @dataclass(frozen=True)
@@ -238,6 +238,9 @@ class SerialBackend(ExecutionBackend):
     """
 
     name = "serial"
+    #: Flow-stepping strategy handed to the scheduler (see
+    #: :data:`repro.core.scheduler.STRATEGY_NAMES`).
+    strategy = "set"
 
     def execute(
         self,
@@ -254,6 +257,7 @@ class SerialBackend(ExecutionBackend):
             ctx.config,
             ctx.path_independent,
             observer=obs,
+            strategy=self.strategy,
         )
         outcomes: list[SegmentOutcome] = []
         previous_matched: frozenset[int] = frozenset()
@@ -291,6 +295,26 @@ class SerialBackend(ExecutionBackend):
             previous_matched = outcome.composed.final_matched
             outcomes.append(outcome)
         return outcomes
+
+
+class VectorBackend(SerialBackend):
+    """In-process execution on the bit-parallel vector strategy.
+
+    Identical host topology to :class:`SerialBackend` — one scheduler,
+    segments in index order — but every flow steps through
+    :class:`repro.automata.vector.VectorFlowExecution`: packed-bitset
+    state vectors advanced by precompiled per-symbol-class transition
+    tables instead of per-state set walks.  Cycle-domain results are
+    bit-exact with the serial backend (the ``tests/exec`` property
+    corpus pins fingerprints and BENCH cycle metrics); only host
+    wall-clock changes.  The win is largest on transition-bound
+    automata with wide active sets (Levenshtein, Hamming) and can
+    invert on large sparse-active automata — see the crossover notes in
+    :mod:`repro.automata.vector`.
+    """
+
+    name = "vector"
+    strategy = "vector"
 
 
 class _RecoveryState:
@@ -694,9 +718,11 @@ def resolve_backend(
     """Turn a backend spec (instance, name, or ``None``) into an instance.
 
     ``None`` and ``"serial"`` yield a fresh :class:`SerialBackend`;
-    ``"process"`` yields a :class:`ProcessPoolBackend` with ``workers``.
-    An existing instance passes through untouched (``workers`` must then
-    be ``None`` — the instance already owns its pool size).
+    ``"process"`` yields a :class:`ProcessPoolBackend` with ``workers``;
+    ``"vector"`` yields a :class:`VectorBackend` (in-process, so
+    ``workers`` is ignored exactly as for ``"serial"``).  An existing
+    instance passes through untouched (``workers`` must then be ``None``
+    — the instance already owns its pool size).
     """
     if isinstance(backend, ExecutionBackend):
         if workers is not None:
@@ -709,6 +735,8 @@ def resolve_backend(
         return SerialBackend()
     if backend == "process":
         return ProcessPoolBackend(workers=workers)
+    if backend == "vector":
+        return VectorBackend()
     raise ConfigurationError(
         f"unknown execution backend {backend!r} "
         f"(expected one of {', '.join(BACKEND_NAMES)})"

@@ -223,3 +223,100 @@ class TestReportValue:
         result = run_automaton(automaton, b"a")
         assert len(result.reports) == 2
         assert len(result.report_set) == 2  # distinct elements
+
+
+def latching_reporter_automaton(num_reporters=4):
+    """A hub plus ``num_reporters`` trigger->latch chains whose latch
+    states are full-label self-loop *reporting* states: once its
+    trigger symbol is seen, each latch reports on every later symbol.
+    Trigger for reporter ``i`` is byte ``ord('a') + i``."""
+    automaton = Automaton("latching-reporters")
+    hub = builder.star_self_loop(automaton)
+    for index in range(num_reporters):
+        trigger = automaton.add_state(
+            CharClass.single(ord("a") + index),
+            start=StartKind.START_OF_DATA,
+        )
+        automaton.add_edge(hub, trigger)
+        latch = automaton.add_state(
+            CharClass.full(), reporting=True, report_code=10 + index
+        )
+        automaton.add_edge(trigger, latch)
+        automaton.add_edge(latch, latch)
+    return automaton
+
+
+class TestLatchedReportDeterminism:
+    """Latched-report ordering is a pure function of the execution
+    semantics — never of latch arrival order, set iteration order, or
+    the interpreter's hash seed (the PR-9 clone-ordering fix).
+
+    The CI determinism job runs this class under two ``PYTHONHASHSEED``
+    values; ``test_reports_identical_across_hash_seeds`` additionally
+    proves it in-process via subprocesses.
+    """
+
+    # Triggers arrive in descending-sid order ('d' first), so latch
+    # *insertion* order disagrees with sid order — the arrangement that
+    # exposed the pre-fix divergence between an original flow and its
+    # clone (which rebuilt the latched list from a frozenset).
+    DATA = b"d.c.b.a." + b"xyzw" * 8
+
+    def test_clone_continuation_reports_match_original(self):
+        compiled = CompiledAutomaton(latching_reporter_automaton())
+        flow = FlowExecution(compiled)
+        flow.run(self.DATA[:8])
+        twin = flow.clone()
+        flow.run(self.DATA[8:], 8)
+        twin.run(self.DATA[8:], 8)
+        assert twin.reports == flow.reports
+        assert len({r.offset for r in flow.reports[-4:]}) == 1, (
+            "tail step must carry all four latched reports"
+        )
+
+    def test_each_step_emits_ascending_sids(self):
+        compiled = CompiledAutomaton(latching_reporter_automaton())
+        flow = FlowExecution(compiled)
+        flow.run(self.DATA)
+        by_offset = {}
+        for report in flow.reports:
+            by_offset.setdefault(report.offset, []).append(report.element)
+        assert max(len(v) for v in by_offset.values()) == 4
+        for offset, sids in by_offset.items():
+            assert sids == sorted(sids), offset
+
+    def test_reports_identical_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from tests.automata.test_execution import ("
+            "latching_reporter_automaton, TestLatchedReportDeterminism)\n"
+            "from repro.automata.execution import ("
+            "CompiledAutomaton, FlowExecution)\n"
+            "flow = FlowExecution("
+            "CompiledAutomaton(latching_reporter_automaton()))\n"
+            "data = TestLatchedReportDeterminism.DATA\n"
+            "flow.run(data[:8])\n"
+            "twin = flow.clone()\n"
+            "twin.run(data[8:], 8)\n"
+            "print([(r.offset, r.element, r.code) for r in twin.reports])\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", ".", env.get("PYTHONPATH", "")])
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip(), "subprocess must produce reports"

@@ -1,5 +1,7 @@
 """Unit tests for input partitioning."""
 
+import random
+
 import pytest
 
 from repro.core.partitioning import boundary_profile, partition_input
@@ -77,6 +79,45 @@ class TestSnapping:
         assert segments[1].start == 14  # just after the 'b'
         assert segments[1].boundary_symbol == ord("b")
 
+    def test_overshooting_snap_does_not_drop_the_next_segment(self):
+        # Regression: a lone partition symbol inside a wide snap window
+        # pulls a cut *forward past the next target*; the next boundary
+        # then collided with it and was silently dropped, so callers got
+        # fewer segments than requested on a perfectly healthy input.
+        # Lone 'b' at 54 with window 30: the first cut (target 25)
+        # snaps to 55, overshooting the second target (50).
+        data = b"a" * 54 + b"b" + b"a" * 45
+        segments = partition_input(data, 4, symbol=ord("b"), snap_window=30)
+        assert len(segments) == 4
+        starts = [s.start for s in segments]
+        assert starts == sorted(set(starts))
+        assert all(s.length > 0 for s in segments)
+        assert segments[-1].end == len(data)
+
+    def test_adversarial_symbol_placement_preserves_segment_count(self):
+        # Sweep clustered/lone symbol placements against wide windows:
+        # whenever the input has room for the requested cuts, every
+        # segment must materialize.
+        rng = random.Random(20260808)
+        for _ in range(200):
+            length = rng.randrange(8, 120)
+            num_segments = rng.randrange(2, 8)
+            window = rng.randrange(1, length)
+            positions = rng.sample(
+                range(length), rng.randrange(0, min(4, length))
+            )
+            raw = bytearray(b"a" * length)
+            for position in positions:
+                raw[position] = ord("b")
+            data = bytes(raw)
+            segments = partition_input(
+                data, num_segments, symbol=ord("b"), snap_window=window
+            )
+            label = (length, num_segments, window, sorted(positions))
+            assert len(segments) == min(num_segments, length), label
+            assert all(s.length > 0 for s in segments), label
+            assert segments[-1].end == length, label
+
     def test_window_edge_symbol_at_input_tail_keeps_boundary(self):
         # A symbol at the input's final byte must not snap: cutting
         # after it would be no cut at all, and the boundary must fall
@@ -136,6 +177,37 @@ class TestBoundaryProfile:
         profile = boundary_profile(segments, symbol=ord("a"))
         assert len(profile.boundary_symbols) == len(segments) - 1
         assert profile.snapped + profile.off_symbol == len(segments) - 1
+
+    def test_counts_cover_interior_boundaries_lengths_cover_segments(self):
+        # The documented contract: snapped/off_symbol classify only the
+        # ``num_segments - 1`` interior boundaries while the length
+        # statistics cover all segments — pinned across segment counts
+        # so the analyze pass can't misread a one-segment profile as
+        # "no data".
+        data = bytes(random.Random(7).randrange(256) for _ in range(256))
+        for num_segments in (1, 2, 3, 5, 8):
+            segments = partition_input(data, num_segments, symbol=0x20)
+            profile = boundary_profile(segments, symbol=0x20)
+            assert (
+                profile.snapped + profile.off_symbol
+                == profile.num_segments - 1
+            )
+            assert profile.num_segments == len(segments)
+            assert profile.min_length >= 1
+            assert (
+                abs(
+                    profile.mean_length * profile.num_segments - len(data)
+                )
+                < 1e-6
+            )
+
+    def test_one_segment_profile_has_zero_boundary_counts(self):
+        segments = partition_input(b"abc" * 10, 1, symbol=ord("b"))
+        profile = boundary_profile(segments, symbol=ord("b"))
+        assert profile.num_segments == 1
+        assert profile.snapped == 0
+        assert profile.off_symbol == 0
+        assert profile.min_length == 30  # lengths still describe it
 
 
 class TestDegenerateInputs:
