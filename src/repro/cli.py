@@ -16,6 +16,10 @@
   the dual-domain tolerance policy, ``report`` renders one;
 * ``obs`` — run telemetry: validate/summarize flight-recorder ledgers
   and OpenMetrics exports, export a ledger's metrics, diff two runs;
+* ``chaos`` — seeded fault-matrix sweep (crash / hang / transient /
+  straggler / corrupt_checkpoint × segment coordinates) over one
+  workload, printing a recovery table; exits 1 on any recovery that
+  is not bit-exact against the fault-free run;
 * ``match`` — compile patterns and scan a file, sequential vs. PAP;
 * ``lint`` — static diagnostics (apcheck) for automata and deployments;
 * ``analyze`` — predictive static analysis (repro.analyze): cost-model
@@ -48,7 +52,18 @@ from repro.errors import (
     ConfigurationError,
     ReproError,
 )
-from repro.exec import BACKEND_NAMES, FaultPlan, RetryPolicy, resolve_backend
+from repro.exec import (
+    AdmissionPolicy,
+    BACKEND_NAMES,
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    HedgePolicy,
+    ProcessPoolBackend,
+    RetryPolicy,
+    cycle_fingerprint,
+    resolve_backend,
+)
 from repro.analyze.render import (
     render_analysis_sarif,
     render_analysis_text,
@@ -167,6 +182,69 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
             "runs stay bit-exact in the cycle domain"
         ),
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable segment-result store: completed segments are "
+            "written through to DIR (append-only JSONL, fsynced) keyed "
+            "by the run fingerprint, so a crashed run can resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from --checkpoint: segments already proven under "
+            "this run's fingerprint are replayed bit-exactly instead "
+            "of re-executed"
+        ),
+    )
+    parser.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="MULT",
+        help=(
+            "straggler hedging on --backend process: a dispatch "
+            "outstanding past MULT MAD multiples of this run's median "
+            "segment wall is speculatively re-dispatched and the first "
+            "result wins (bit-exact either way)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "circuit breaker on --backend process: N consecutive "
+            "infrastructure failures (worker crashes / dispatch "
+            "timeouts) open the breaker and the run fast-fails to "
+            "in-process execution with a RunHealth reason code"
+        ),
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "admission guard: refuse or chunk runs whose predicted "
+            "peak host memory exceeds BYTES (see --admission-mode)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-mode",
+        choices=("chunk", "refuse"),
+        default="chunk",
+        help=(
+            "over-budget response: 'chunk' bounds in-flight segment "
+            "dispatches to fit the budget, 'refuse' fails the run "
+            "before execution (default chunk)"
+        ),
+    )
 
 
 def _resilience_from_args(
@@ -187,6 +265,38 @@ def _resilience_from_args(
         FaultPlan.parse(args.inject_faults) if args.inject_faults else None
     )
     return retry, faults
+
+
+def _durability_from_args(
+    args: argparse.Namespace,
+) -> tuple[HedgePolicy | None, CircuitBreaker | None, AdmissionPolicy | None]:
+    """Build the durability policies from CLI flags.
+
+    Returns ``(hedge, breaker, admission)``; the checkpoint path and
+    resume flag pass through as ``args.checkpoint`` / ``args.resume``.
+    Raises :class:`ConfigurationError` on invalid combinations.
+    """
+    if args.resume and not args.checkpoint:
+        raise ConfigurationError("--resume needs --checkpoint DIR")
+    hedge = (
+        HedgePolicy(mad_multiplier=args.hedge_after)
+        if args.hedge_after is not None
+        else None
+    )
+    breaker = (
+        CircuitBreaker(fail_threshold=args.breaker_after)
+        if args.breaker_after is not None
+        else None
+    )
+    admission = (
+        AdmissionPolicy(
+            memory_budget_bytes=args.memory_budget,
+            mode=args.admission_mode,
+        )
+        if args.memory_budget is not None
+        else None
+    )
+    return hedge, breaker, admission
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -240,6 +350,7 @@ def _run_summary(run, bench, args) -> dict:
         "reports_match": run.reports_match,
         "svc": pap.extra.get("svc", {}),
         "health": pap.health,
+        "checkpoint": pap.extra.get("checkpoint"),
     }
 
 
@@ -283,7 +394,8 @@ def _print_run_text(summary: dict) -> None:
     if any(
         health.get(key)
         for key in (
-            "retries", "timeouts", "crashes", "faults_injected", "downgraded"
+            "retries", "timeouts", "crashes", "faults_injected",
+            "downgraded", "hedges", "worker_steps",
         )
     ):
         line = (
@@ -292,12 +404,44 @@ def _print_run_text(summary: dict) -> None:
             f"{health.get('crashes', 0)} crashes, "
             f"{health.get('faults_injected', 0)} faults injected"
         )
+        if health.get("hedges"):
+            line += (
+                f", {health['hedges']} hedges "
+                f"({len(health.get('hedge_wins', []))} won)"
+            )
+        if health.get("worker_steps"):
+            line += f", {len(health['worker_steps'])} pool step-downs"
         if health.get("downgraded"):
             line += (
                 " [degraded to serial at segment "
                 f"{health.get('downgraded_at_segment')}]"
             )
         print(line)
+    if health.get("breaker_state"):
+        line = f"breaker          : {health['breaker_state']}"
+        if health.get("breaker_reason"):
+            line += f" ({health['breaker_reason']})"
+        print(line)
+    ckpt = summary.get("checkpoint")
+    if ckpt:
+        print(
+            f"checkpoint       : {ckpt['path']} "
+            f"({ckpt['hits']} hits, {ckpt['writes']} writes"
+            f"{', resumed' if ckpt.get('resumed') else ''})"
+        )
+    admission = health.get("admission")
+    if admission:
+        print(
+            f"admission        : {admission['action']} "
+            f"(predicted peak {admission['predicted_peak_bytes']} B, "
+            f"budget {admission['budget_bytes']} B"
+            + (
+                f", wave {admission['wave_size']} segments"
+                if admission.get("wave_size")
+                else ""
+            )
+            + ")"
+        )
     print(
         f"reports          : {summary['reports']} "
         f"(amplification {summary['event_amplification']:.2f}x, "
@@ -325,7 +469,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     try:
         retry, faults = _resilience_from_args(args)
-        backend = resolve_backend(args.backend, workers=args.workers)
+        hedge, breaker, admission = _durability_from_args(args)
+        backend = resolve_backend(
+            args.backend, workers=args.workers, hedge=hedge, breaker=breaker
+        )
     except ConfigurationError as error:
         print(f"repro run: {error}", file=sys.stderr)
         return 2
@@ -342,6 +489,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             backend=backend,
             retry=retry,
             faults=faults,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            admission=admission,
         )
         if args.drift_baseline:
             # Checked before the ledger seals so the drift events and
@@ -406,6 +556,147 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # machine-readable.
         print(tracer.text_profile(), file=out_stream)
     return 0 if run.reports_match else 1
+
+
+#: Fault kinds `repro chaos` can sweep; every one must recover to a
+#: bit-exact cycle fingerprint for the sweep to pass.
+CHAOS_KINDS = ("crash", "hang", "transient", "straggler",
+               "corrupt_checkpoint")
+
+
+def _chaos_coordinates(num_segments: int, count: int) -> list[int]:
+    """``count`` segment indices spread over the run, first and last
+    included — faults at the golden segment and the tail boundary are
+    the historically interesting coordinates."""
+    if count >= num_segments:
+        return list(range(num_segments))
+    if count == 1:
+        return [0]
+    picks = {
+        round(i * (num_segments - 1) / (count - 1)) for i in range(count)
+    }
+    return sorted(picks)
+
+
+def _chaos_trial(pap, data, reference, kind, segment, args) -> dict:
+    """One fault-matrix cell: inject ``kind`` at ``segment``, recover,
+    and compare the cycle fingerprint against the fault-free run."""
+    import tempfile
+    import time as _time
+
+    row = {"kind": kind, "segment": segment, "recovered": False,
+           "wall_ms": 0.0, "detail": ""}
+    start = _time.perf_counter()
+    try:
+        if kind == "corrupt_checkpoint":
+            # Write-side corruption: first pass tears the segment's
+            # checkpoint record, the resume pass must drop it and
+            # re-execute (never crash, never trust the torn record).
+            faults = FaultPlan(
+                specs=(FaultSpec(segment=segment, kind=kind),)
+            )
+            with tempfile.TemporaryDirectory(prefix="chaos-ckpt-") as tmp:
+                pap.run(data, checkpoint=tmp, faults=faults)
+                result = pap.run(data, checkpoint=tmp, resume=True)
+                ckpt = result.extra["checkpoint"]
+                row["detail"] = (
+                    f"{ckpt['dropped_records']} torn record(s) dropped, "
+                    f"{ckpt['hits']} hits on resume"
+                )
+        else:
+            faults = FaultPlan(
+                specs=(FaultSpec(segment=segment, kind=kind),),
+                hang_s=args.hang,
+                straggler_s=args.straggler,
+            )
+            retry = RetryPolicy(
+                max_retries=args.retries,
+                segment_timeout_s=args.segment_timeout,
+                backoff_base_s=0.0,
+            )
+            backend = ProcessPoolBackend(
+                workers=args.workers or 2, hedge=HedgePolicy()
+            )
+            try:
+                # Warm the pool (spawn + compile) fault-free first so
+                # the dispatch timeout measures recovery, not worker
+                # cold start.
+                pap.run(data, backend=backend)
+                start = _time.perf_counter()
+                result = pap.run(
+                    data, backend=backend, retry=retry, faults=faults
+                )
+                # Measured before close(): close joins workers, and a
+                # hedged-past hang may still be sleeping in one — the
+                # recovery wall is the run, not the join.
+                row["wall_ms"] = (_time.perf_counter() - start) * 1e3
+            finally:
+                backend.close()
+            health = result.health
+            row["detail"] = (
+                f"{health['retries']} retries, {health['timeouts']} "
+                f"timeouts, {health['crashes']} crashes, "
+                f"{health['hedges']} hedges"
+            )
+        row["recovered"] = cycle_fingerprint(result) == reference
+        if not row["recovered"]:
+            row["detail"] = "cycle fingerprint diverged; " + row["detail"]
+    except ReproError as error:
+        row["detail"] = f"{type(error).__name__}: {error}"
+    if not row["wall_ms"]:
+        row["wall_ms"] = (_time.perf_counter() - start) * 1e3
+    return row
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    try:
+        kinds = tuple(k for k in args.kinds.split("+") if k)
+        unknown = [k for k in kinds if k not in CHAOS_KINDS]
+        if not kinds or unknown:
+            raise ConfigurationError(
+                f"unknown fault kind(s) {'+'.join(unknown) or '(none)'}; "
+                f"choose from {'+'.join(CHAOS_KINDS)}"
+            )
+    except ConfigurationError as error:
+        print(f"repro chaos: {error}", file=sys.stderr)
+        return 2
+    bench = build_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    data = bench.trace(args.trace_bytes, args.seed + 1)
+    config = replace(
+        DEFAULT_CONFIG, geometry=BoardGeometry(ranks=args.ranks)
+    )
+    pap = ParallelAutomataProcessor(
+        bench.automaton, config=config, half_cores=bench.half_cores
+    )
+    cold = pap.run(data)
+    reference = cycle_fingerprint(cold)
+    coords = _chaos_coordinates(cold.num_segments, args.segments)
+    print(
+        f"chaos sweep: {args.benchmark}, {cold.num_segments} segments, "
+        f"{len(kinds)} kind(s) x {len(coords)} coordinate(s)",
+        file=sys.stderr,
+    )
+    rows = [
+        _chaos_trial(pap, data, reference, kind, segment, args)
+        for kind in kinds
+        for segment in coords
+    ]
+    failed = [row for row in rows if not row["recovered"]]
+    if args.format == "json":
+        print(json.dumps({"rows": rows, "failed": len(failed)}, indent=2))
+    else:
+        print(f"{'Kind':<20}{'Seg':>5}  {'Recovered':<10}"
+              f"{'Wall(ms)':>9}  Detail")
+        for row in rows:
+            status = "OK" if row["recovered"] else "FAILED"
+            print(
+                f"{row['kind']:<20}{row['segment']:>5}  {status:<10}"
+                f"{row['wall_ms']:>9.1f}  {row['detail']}"
+            )
+        print(
+            f"{len(rows) - len(failed)}/{len(rows)} recoveries bit-exact"
+        )
+    return 1 if failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -547,6 +838,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         return 1
     try:
         retry, faults = _resilience_from_args(args)
+        hedge, breaker, _ = _durability_from_args(args)
     except ConfigurationError as error:
         print(f"repro bench run: {error}", file=sys.stderr)
         return 2
@@ -566,6 +858,10 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
             use_fiv=not args.no_fiv,
             retry=retry,
             faults=faults,
+            hedge=hedge,
+            breaker=breaker,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
             progress=lambda line: print(line, file=sys.stderr),
         )
     except ConfigurationError as error:
@@ -1049,6 +1345,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience(run_parser)
     _add_common(run_parser)
 
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="seeded fault-matrix sweep with bit-exact recovery gating",
+        description=(
+            "Sweep a fault matrix (kind x segment coordinate) over one "
+            "workload: each cell injects a deterministic fault, lets "
+            "the recovery machinery (retries, timeouts, hedging, "
+            "checkpoint resume) handle it, and verifies the recovered "
+            "run's cycle fingerprint against the fault-free run. "
+            "Exit codes: 0 all recoveries bit-exact, 1 any divergence "
+            "or unrecovered fault, 2 usage."
+        ),
+    )
+    chaos_parser.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    chaos_parser.add_argument(
+        "--kinds",
+        default="crash+hang+transient+straggler",
+        help=(
+            "'+'-separated fault kinds to sweep "
+            f"(any of {'+'.join(CHAOS_KINDS)})"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--segments",
+        type=int,
+        default=3,
+        help="segment coordinates per kind, spread over the run",
+    )
+    chaos_parser.add_argument(
+        "--ranks", type=int, default=1, choices=(1, 2, 4)
+    )
+    chaos_parser.add_argument("--trace-bytes", type=int, default=16_384)
+    chaos_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the faulted process-backend trials",
+    )
+    chaos_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-executions allowed per segment in each trial",
+    )
+    chaos_parser.add_argument(
+        "--segment-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-segment dispatch timeout (recovers hang faults)",
+    )
+    chaos_parser.add_argument(
+        "--hang",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help=(
+            "injected hang duration; exceeds --segment-timeout so the "
+            "deadline path must fire whenever hedging cannot beat it"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--straggler",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="injected straggler delay (hedging should beat it)",
+    )
+    chaos_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    _add_common(chaos_parser)
+
     trace_parser = commands.add_parser(
         "trace",
         help="record or validate a PAP execution trace",
@@ -1427,6 +1796,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "bench": _cmd_bench,

@@ -107,6 +107,17 @@ class WorkerCrashError(ExecutionError):
 RETRYABLE_ERRORS = (TransientSegmentError, SegmentTimeoutError, WorkerCrashError)
 
 
+class CheckpointError(ReproError):
+    """A checkpoint store path is unusable (e.g. the directory is a
+    file).  Corrupted or torn checkpoint *records* never raise — the
+    store drops them and the affected segments re-execute."""
+
+
+class AdmissionError(ReproError):
+    """The admission guard refused a run predicted to exceed its
+    resource budget (see :class:`repro.exec.durability.AdmissionPolicy`)."""
+
+
 class ArtifactError(ReproError):
     """A benchmark artifact (``BENCH_*.json``) is missing, malformed,
     or carries an unsupported schema version."""

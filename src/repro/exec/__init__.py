@@ -3,8 +3,10 @@
 See :mod:`repro.exec.backend` for the backend contract (dispatch and
 dependency rules, bit-exactness), :mod:`repro.exec.worker` for the
 spawn-safe worker protocol, :mod:`repro.exec.faults` for deterministic
-fault injection, and :mod:`repro.exec.resilience` for the retry/backoff
-policy and run-health accounting.
+fault injection, :mod:`repro.exec.resilience` for the retry/backoff
+policy and run-health accounting, and :mod:`repro.exec.durability` for
+the checkpoint/resume store, straggler hedging, circuit breaker, and
+admission guard.
 """
 
 from repro.exec.backend import (
@@ -17,6 +19,16 @@ from repro.exec.backend import (
     TRACK_EXEC,
     VectorBackend,
     resolve_backend,
+)
+from repro.exec.durability import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    CheckpointRun,
+    CheckpointStore,
+    CircuitBreaker,
+    HedgePolicy,
+    cycle_fingerprint,
+    run_fingerprint,
 )
 from repro.exec.faults import (
     FAULT_KINDS,
@@ -31,7 +43,12 @@ from repro.exec.resilience import (
 )
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "BACKEND_NAMES",
+    "CheckpointRun",
+    "CheckpointStore",
+    "CircuitBreaker",
     "DEFAULT_RETRY_POLICY",
     "ExecutionBackend",
     "ExecutionContext",
@@ -39,6 +56,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HedgePolicy",
     "ProcessPoolBackend",
     "RetryPolicy",
     "RunHealth",
@@ -46,5 +64,7 @@ __all__ = [
     "SerialBackend",
     "TRACK_EXEC",
     "VectorBackend",
+    "cycle_fingerprint",
     "resolve_backend",
+    "run_fingerprint",
 ]

@@ -52,11 +52,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter_ns
+from typing import Callable
 
 from repro.automata.analysis import AutomatonAnalysis
 from repro.automata.anml import Automaton
@@ -76,7 +84,18 @@ from repro.errors import (
     SegmentTimeoutError,
     WorkerCrashError,
 )
-from repro.exec.faults import HOST_KINDS, FaultInjector, raise_fault
+from repro.exec.durability import (
+    CheckpointRun,
+    CircuitBreaker,
+    HedgePolicy,
+)
+from repro.exec.faults import (
+    HANG,
+    HOST_KINDS,
+    STRAGGLER,
+    FaultInjector,
+    raise_fault,
+)
 from repro.exec.resilience import (
     DEFAULT_RETRY_POLICY,
     RetryPolicy,
@@ -107,6 +126,16 @@ class ExecutionContext:
     retry: RetryPolicy = DEFAULT_RETRY_POLICY
     injector: FaultInjector | None = None
     health: RunHealth = field(default_factory=RunHealth)
+    checkpoint: CheckpointRun | None = None
+    """Durable segment-result store for this run (``None`` = no
+    checkpointing).  Backends consult it before executing a segment and
+    write through after each success (see :mod:`repro.exec.durability`)."""
+    max_inflight: int | None = None
+    """Admission-guard bound on concurrently in-flight segment
+    dispatches (``None`` = unbounded).  Consumed by the process
+    backend's independent (no-FIV) path, which otherwise prefetches
+    every segment at once; serial execution is inherently one segment
+    at a time."""
 
 
 @dataclass(frozen=True)
@@ -224,6 +253,50 @@ class ExecutionBackend:
             result=result, composed=composed, decode_cycles=decode
         )
 
+    # -- durability (shared write-through checkpoint plumbing) ------------
+
+    @staticmethod
+    def _checkpoint_load(
+        ctx: ExecutionContext, plan: SegmentPlan
+    ) -> SegmentResult | None:
+        """This segment's proven result, when the run has one on disk."""
+        if ctx.checkpoint is None:
+            return None
+        result = ctx.checkpoint.load(plan)
+        if result is None:
+            return None
+        obs = ctx.observer
+        obs.metrics.counter("exec.checkpoint.hits").inc()
+        if obs.enabled:
+            obs.instant(
+                "checkpoint-hit",
+                track=TRACK_EXEC,
+                args={"segment": plan.segment.index},
+            )
+        return result
+
+    @staticmethod
+    def _checkpoint_store(
+        ctx: ExecutionContext, plan: SegmentPlan, result: SegmentResult
+    ) -> None:
+        """Write one completed segment through to the checkpoint file."""
+        if ctx.checkpoint is None:
+            return
+        corrupt = (
+            ctx.injector.draw_checkpoint(plan.segment.index)
+            if ctx.injector is not None
+            else False
+        )
+        ctx.checkpoint.record(plan, result, corrupt=corrupt)
+        obs = ctx.observer
+        obs.metrics.counter("exec.checkpoint.writes").inc()
+        if obs.enabled:
+            obs.instant(
+                "checkpoint-write",
+                track=TRACK_EXEC,
+                args={"segment": plan.segment.index, "corrupt": corrupt},
+            )
+
 
 class SerialBackend(ExecutionBackend):
     """The original in-process behaviour, extracted verbatim from
@@ -275,7 +348,13 @@ class SerialBackend(ExecutionBackend):
                 index: int = index,
             ) -> SegmentResult:
                 fault = _draw_fault(ctx, index)
-                if fault is not None:
+                if fault == STRAGGLER:
+                    # In-process model of a slow segment: delay, then
+                    # execute normally (there is nothing to hedge
+                    # against without a pool).
+                    assert ctx.injector is not None
+                    time.sleep(ctx.injector.plan.straggler_s)
+                elif fault is not None:
                     raise_fault(fault, index)
                 obs.metrics.counter("exec.dispatches").inc()
                 if plan.is_golden:
@@ -284,9 +363,12 @@ class SerialBackend(ExecutionBackend):
                     data, plan, unit_truth=truth, fiv_time=fiv_time
                 )
 
-            result = run_with_retry(
-                ctx.retry, ctx.health, obs, index, attempt
-            )
+            result = self._checkpoint_load(ctx, plan)
+            if result is None:
+                result = run_with_retry(
+                    ctx.retry, ctx.health, obs, index, attempt
+                )
+                self._checkpoint_store(ctx, plan, result)
             outcome = self._compose(ctx, result, truth)
             fiv_chain = (
                 max(fiv_chain, result.metrics.finish_cycles)
@@ -325,6 +407,16 @@ class _RecoveryState:
     in-process execution for every remaining attempt and segment — the
     worker pool is torn down and a lazily built local scheduler takes
     over, so the run finishes instead of failing.
+
+    Two escalation paths run alongside (see
+    :mod:`repro.exec.durability`): consecutive *infrastructure*
+    failures step the rebuilt pool down (n → n/2 → … → 1) before the
+    downgrade fires, and they feed the backend's circuit breaker —
+    which, once open, downgrades immediately with a breaker reason
+    code instead of letting the pool be rebuilt again.
+
+    Also owns the run's completed-dispatch wall samples, the input to
+    the straggler-hedging threshold.
     """
 
     def __init__(
@@ -335,6 +427,7 @@ class _RecoveryState:
         self.data = data
         self.consecutive = 0
         self.downgraded = False
+        self.samples: list[float] = []
         self._scheduler: SegmentScheduler | None = None
 
     def scheduler(self) -> SegmentScheduler:
@@ -364,7 +457,10 @@ class _RecoveryState:
         ctx = self.ctx
         index = plan.segment.index
         fault = _draw_fault(ctx, index, infrastructure=False)
-        if fault is not None:
+        if fault == STRAGGLER:
+            assert ctx.injector is not None
+            time.sleep(ctx.injector.plan.straggler_s)
+        elif fault is not None:
             raise_fault(fault, index)
         ctx.observer.metrics.counter("exec.dispatches").inc()
         if plan.is_golden:
@@ -376,17 +472,85 @@ class _RecoveryState:
     def note_failure(self, plan: SegmentPlan, error: BaseException) -> None:
         self.consecutive += 1
         ctx = self.ctx
+        infrastructure = isinstance(
+            error, (WorkerCrashError, SegmentTimeoutError)
+        )
+        if infrastructure and not self.downgraded:
+            self._step_down_workers(plan, error)
+            breaker = self.backend.breaker
+            if breaker is not None:
+                opened = breaker.record_failure(error)
+                self.backend._note_breaker(ctx, opened_at=plan, opened=opened)
+                if opened and not self.downgraded:
+                    # Fast-fail the rest of the run instead of another
+                    # pool rebuild; later runs fast-fail up front until
+                    # the cooldown half-opens the breaker.
+                    self._downgrade(
+                        plan, error, reason=f"breaker open: {breaker.reason}"
+                    )
+                    return
         limit = ctx.retry.downgrade_after
         if self.downgraded or limit is None or self.consecutive < limit:
             return
+        self._downgrade(
+            plan,
+            error,
+            reason=(
+                f"{self.consecutive} consecutive process-backend failures "
+                f"(last: {type(error).__name__})"
+            ),
+        )
+
+    def _step_down_workers(
+        self, plan: SegmentPlan, error: BaseException
+    ) -> None:
+        """Halve the rebuilt pool under repeated infrastructure failure.
+
+        The first failure may be a one-off (one lost worker), so the
+        rebuild keeps its size; from the second *consecutive* one on,
+        re-dispatching at the same width is just re-arming the same
+        failure — each further failure halves the next rebuild
+        (n → n/2 → … → 1), and ``downgrade_after`` / the breaker take
+        over from there.  Every step is recorded in RunHealth.
+        """
+        backend = self.backend
+        if self.consecutive < 2 or backend._dispatch_workers <= 1:
+            return
+        stepped = max(1, backend._dispatch_workers // 2)
+        backend._dispatch_workers = stepped
+        ctx = self.ctx
+        ctx.health.worker_steps.append(
+            {
+                "segment": plan.segment.index,
+                "workers": stepped,
+                "consecutive": self.consecutive,
+                "error": type(error).__name__,
+            }
+        )
+        obs = ctx.observer
+        obs.metrics.counter("exec.worker_stepdowns").inc()
+        if obs.enabled:
+            obs.metrics.gauge("exec.workers").set(stepped)
+            obs.instant(
+                "worker-stepdown",
+                track=TRACK_EXEC,
+                args={
+                    "segment": plan.segment.index,
+                    "workers": stepped,
+                    "consecutive_failures": self.consecutive,
+                    "error": type(error).__name__,
+                },
+            )
+
+    def _downgrade(
+        self, plan: SegmentPlan, error: BaseException, *, reason: str
+    ) -> None:
         self.downgraded = True
+        ctx = self.ctx
         health = ctx.health
         health.downgraded = True
         health.downgraded_at_segment = plan.segment.index
-        health.downgrade_reason = (
-            f"{self.consecutive} consecutive process-backend failures "
-            f"(last: {type(error).__name__})"
-        )
+        health.downgrade_reason = reason
         obs = ctx.observer
         obs.metrics.counter("exec.downgrades").inc()
         if obs.enabled:
@@ -397,6 +561,7 @@ class _RecoveryState:
                     "segment": plan.segment.index,
                     "consecutive_failures": self.consecutive,
                     "error": type(error).__name__,
+                    "reason": reason,
                 },
             )
             obs.metrics.gauge("exec.workers").set(1)
@@ -406,6 +571,14 @@ class _RecoveryState:
 
     def note_success(self) -> None:
         self.consecutive = 0
+        breaker = self.backend.breaker
+        if breaker is not None:
+            was = breaker.state
+            breaker.record_success()
+            if was != breaker.state:
+                self.backend._note_breaker(
+                    self.ctx, opened_at=None, opened=False
+                )
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -430,29 +603,50 @@ class ProcessPoolBackend(ExecutionBackend):
     dispatch timeout tears the executor down *without waiting* (a hung
     worker cannot be joined) and the next dispatch — a retry of the
     failed segment or a later run on the same backend instance —
-    lazily rebuilds a fresh pool.  After ``downgrade_after`` consecutive
-    failures the run degrades to in-process execution for the remaining
-    segments (see :class:`_RecoveryState`).
+    lazily rebuilds a fresh pool, *stepped down* (n → n/2 → … → 1)
+    under repeated consecutive infrastructure failures.  After
+    ``downgrade_after`` consecutive failures the run degrades to
+    in-process execution for the remaining segments (see
+    :class:`_RecoveryState`).
+
+    Durability (see :mod:`repro.exec.durability`): ``hedge`` enables
+    straggler hedging — a dispatch outstanding past a MAD-based
+    multiple of this run's completed dispatch walls is speculatively
+    re-dispatched and the first result wins.  ``breaker`` attaches a
+    circuit breaker over infrastructure failures — open, it fast-fails
+    runs to in-process execution (with a RunHealth reason code)
+    instead of rebuilding the pool per failure, until its cooldown
+    admits a probe.  Both are bit-exactness-preserving: a hedge
+    duplicate computes the identical pure function, and downgraded
+    execution is the serial backend's.
     """
 
     name = "process"
 
     def __init__(
-        self, workers: int | None = None, *, mp_context: str = "spawn"
+        self,
+        workers: int | None = None,
+        *,
+        mp_context: str = "spawn",
+        hedge: HedgePolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError("process backend needs >= 1 worker")
         self.workers = workers if workers is not None else os.cpu_count() or 1
+        self.hedge = hedge
+        self.breaker = breaker
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._run_counter = 0
+        self._dispatch_workers = self.workers
 
     # -- pool lifecycle ---------------------------------------------------
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
+                max_workers=self._dispatch_workers,
                 mp_context=multiprocessing.get_context(self._mp_context),
             )
         return self._executor
@@ -470,6 +664,37 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def close(self) -> None:
         self._teardown(wait=True)
+
+    # -- breaker bookkeeping ----------------------------------------------
+
+    def _note_breaker(
+        self,
+        ctx: ExecutionContext,
+        *,
+        opened_at: SegmentPlan | None,
+        opened: bool,
+    ) -> None:
+        """Mirror the breaker's state into health, metrics, and ledger."""
+        breaker = self.breaker
+        assert breaker is not None
+        health = ctx.health
+        health.breaker_state = breaker.state
+        health.breaker_reason = breaker.reason
+        obs = ctx.observer
+        obs.metrics.gauge("breaker.state").set(breaker.state_code)
+        if opened:
+            obs.metrics.counter("breaker.opens").inc()
+        if obs.enabled:
+            args: dict[str, object] = {"state": breaker.state}
+            if opened_at is not None:
+                args["segment"] = opened_at.segment.index
+            if breaker.reason is not None:
+                args["reason"] = breaker.reason
+            obs.instant(
+                "breaker-open" if opened else "breaker-state",
+                track=TRACK_EXEC,
+                args=args,
+            )
 
     # -- dispatch ---------------------------------------------------------
 
@@ -503,11 +728,17 @@ class ProcessPoolBackend(ExecutionBackend):
             track=TRACK_EXEC,
             args=span_args,
         )
-        worker_fault = (
-            (fault, ctx.injector.plan.hang_s)
-            if fault is not None and ctx.injector is not None
-            else None
-        )
+        worker_fault = None
+        if fault is not None and ctx.injector is not None:
+            # hang and straggler both ship a sleep; only its magnitude
+            # (relative to timeout/hedge thresholds) differs.
+            plan_faults = ctx.injector.plan
+            delay = (
+                plan_faults.hang_s
+                if fault == HANG
+                else plan_faults.straggler_s
+            )
+            worker_fault = (fault, delay)
         try:
             future = self._pool().submit(
                 run_segment_task,
@@ -535,36 +766,141 @@ class ProcessPoolBackend(ExecutionBackend):
         future: Future,
         span: int,
         plan: SegmentPlan,
+        *,
+        redispatch: Callable[[], tuple[Future, int]] | None = None,
+        state: "_RecoveryState | None" = None,
     ) -> SegmentResult:
+        """Wait out one dispatch, hedging it if it straggles.
+
+        With a :class:`HedgePolicy` attached and a ``redispatch``
+        closure available, a dispatch still outstanding past the
+        MAD-based threshold over this run's completed dispatch walls is
+        speculatively re-submitted; whichever copy finishes first wins
+        and the loser is cancelled.  Both copies compute the same pure
+        function of the same inputs, so first-winner selection cannot
+        change the cycle domain.  The per-segment dispatch timeout, when
+        set, still bounds the *total* wait including the hedge.
+        """
         obs = ctx.observer
         index = plan.segment.index
         timeout = ctx.retry.segment_timeout_s
+        policy = self.hedge if redispatch is not None else None
+        start = time.monotonic()
+        threshold = (
+            policy.threshold_s(state.samples)
+            if policy is not None and state is not None
+            else None
+        )
+        outstanding: dict[Future, int] = {future: span}
+        hedged = False
+        task_result = None
+        winner_span = span
+        hedge_won = False
         try:
-            task_result = future.result(timeout=timeout)
+            while task_result is None:
+                elapsed = time.monotonic() - start
+                if timeout is not None and elapsed >= timeout:
+                    raise FuturesTimeoutError()
+                quanta = []
+                if timeout is not None:
+                    quanta.append(timeout - elapsed)
+                if threshold is not None and not hedged:
+                    quanta.append(max(threshold - elapsed, 0.0))
+                    quanta.append(policy.poll_interval_s)
+                quantum = min(quanta) if quanta else None
+                done, _ = wait(
+                    outstanding, timeout=quantum, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    if (
+                        threshold is not None
+                        and not hedged
+                        and time.monotonic() - start >= threshold
+                    ):
+                        hedged = True
+                        hedge_future, hedge_span = redispatch()
+                        outstanding[hedge_future] = hedge_span
+                        ctx.health.hedges += 1
+                        obs.metrics.counter("exec.hedges").inc()
+                        if obs.enabled:
+                            obs.instant(
+                                "segment-hedged",
+                                track=TRACK_EXEC,
+                                args={
+                                    "segment": index,
+                                    "threshold_ms": threshold * 1e3,
+                                },
+                            )
+                    continue
+                # Prefer the primary when both land in the same wait
+                # slice; either result is bit-exact.
+                finished = future if future in done else next(iter(done))
+                finished_span = outstanding.pop(finished)
+                try:
+                    task_result = finished.result()
+                    winner_span = finished_span
+                    hedge_won = finished is not future
+                except (BrokenProcessPool, CancelledError) as error:
+                    # A broken pool takes every outstanding copy with
+                    # it; a lone cancellation only loses one.
+                    if (
+                        isinstance(error, CancelledError)
+                        and outstanding
+                    ):
+                        obs.end_span(
+                            finished_span, args={"outcome": "cancelled"}
+                        )
+                        continue
+                    self._teardown(wait=False)
+                    raise WorkerCrashError(
+                        f"process backend worker died while executing "
+                        f"segment {index} (pool broken: {error})"
+                    ) from error
+                except ReproError as error:
+                    # With a healthy hedge still out, its result may
+                    # yet land — keep waiting instead of failing the
+                    # attempt.
+                    if outstanding:
+                        obs.end_span(
+                            finished_span,
+                            args={"outcome": type(error).__name__},
+                        )
+                        continue
+                    raise
+                except Exception as error:  # noqa: BLE001 — worker errors vary
+                    self.close()
+                    raise ExecutionError(
+                        f"segment {index} failed in worker process: {error!r}"
+                    ) from error
         except FuturesTimeoutError as error:
             # The worker may be genuinely hung; it cannot be reclaimed,
             # so recycle the whole pool and let any retry start fresh.
-            future.cancel()
+            for pending in outstanding:
+                pending.cancel()
             self._teardown(wait=False)
             raise SegmentTimeoutError(
                 f"segment {index} exceeded the {timeout:g}s dispatch "
                 "timeout; worker pool recycled"
             ) from error
-        except (BrokenProcessPool, CancelledError) as error:
-            self._teardown(wait=False)
-            raise WorkerCrashError(
-                f"process backend worker died while executing segment "
-                f"{index} (pool broken: {error})"
-            ) from error
-        except ReproError:
-            raise
-        except Exception as error:  # noqa: BLE001 — worker errors vary
-            self.close()
-            raise ExecutionError(
-                f"segment {index} failed in worker process: {error!r}"
-            ) from error
+        for loser, loser_span in outstanding.items():
+            loser.cancel()
+            obs.end_span(loser_span, args={"outcome": "hedge-loser"})
+        if hedge_won:
+            waited_ms = (time.monotonic() - start) * 1e3
+            ctx.health.hedge_wins.append(
+                {"segment": index, "waited_ms": waited_ms}
+            )
+            obs.metrics.counter("exec.hedge_wins").inc()
+            if obs.enabled:
+                obs.instant(
+                    "hedge-win",
+                    track=TRACK_EXEC,
+                    args={"segment": index, "waited_ms": waited_ms},
+                )
+        if state is not None:
+            state.samples.append(time.monotonic() - start)
         obs.end_span(
-            span,
+            winner_span,
             args={
                 "pid": task_result.pid,
                 "worker_wall_ms": task_result.wall_ns / 1e6,
@@ -575,7 +911,7 @@ class ProcessPoolBackend(ExecutionBackend):
             # span: per-pid tracks, re-based timestamps, worker.*
             # metrics (see repro.obs.remote).
             obs.ingest_worker_batch(
-                task_result.batch, span=span, segment=index
+                task_result.batch, span=winner_span, segment=index
             )
         return task_result.result
 
@@ -588,8 +924,13 @@ class ProcessPoolBackend(ExecutionBackend):
         if not plans:
             return []
         obs = ctx.observer
+        if self._dispatch_workers != self.workers and self._executor is None:
+            # A prior run's step-down is not this run's problem: fresh
+            # runs start at the configured width (an existing healthy
+            # pool, stepped or not, is still reused).
+            self._dispatch_workers = self.workers
         if obs.enabled:
-            obs.metrics.gauge("exec.workers").set(self.workers)
+            obs.metrics.gauge("exec.workers").set(self._dispatch_workers)
         self._run_counter += 1
         token = (id(self), self._run_counter)
         payload = RunPayload(
@@ -599,6 +940,19 @@ class ProcessPoolBackend(ExecutionBackend):
             data=data,
         )
         state = _RecoveryState(self, ctx, data)
+        if self.breaker is not None and not self.breaker.allow():
+            # Open breaker: fast-fail straight to in-process execution —
+            # no pool build, no per-segment failure churn.  RunHealth
+            # carries the reason code.
+            state.downgraded = True
+            health = ctx.health
+            health.downgraded = True
+            health.downgraded_at_segment = plans[0].segment.index
+            health.downgrade_reason = (
+                f"breaker open: {self.breaker.reason}"
+            )
+            obs.metrics.counter("breaker.fastfails").inc()
+            self._note_breaker(ctx, opened_at=plans[0], opened=False)
         outcomes: list[SegmentOutcome] = []
         previous_matched: frozenset[int] = frozenset()
         if ctx.config.use_fiv:
@@ -627,19 +981,45 @@ class ProcessPoolBackend(ExecutionBackend):
                     future, span = self._submit(
                         ctx, token, payload, plan, truth, fiv_time, fault
                     )
-                    return self._collect(ctx, future, span, plan)
 
-                result = run_with_retry(
-                    ctx.retry,
-                    ctx.health,
-                    obs,
-                    index,
-                    attempt,
-                    on_failure=lambda error, plan=plan: state.note_failure(
-                        plan, error
-                    ),
-                )
-                state.note_success()
+                    def redispatch() -> tuple[Future, int]:
+                        # A hedge is a fresh attempt to the injector:
+                        # seeded first-attempt faults do not re-fire on
+                        # the speculative copy.
+                        hedge_fault = _draw_fault(ctx, index)
+                        return self._submit(
+                            ctx,
+                            token,
+                            payload,
+                            plan,
+                            truth,
+                            fiv_time,
+                            hedge_fault,
+                        )
+
+                    return self._collect(
+                        ctx,
+                        future,
+                        span,
+                        plan,
+                        redispatch=redispatch,
+                        state=state,
+                    )
+
+                result = self._checkpoint_load(ctx, plan)
+                if result is None:
+                    result = run_with_retry(
+                        ctx.retry,
+                        ctx.health,
+                        obs,
+                        index,
+                        attempt,
+                        on_failure=lambda error, plan=plan: state.note_failure(
+                            plan, error
+                        ),
+                    )
+                    state.note_success()
+                    self._checkpoint_store(ctx, plan, result)
                 outcome = self._compose(ctx, result, truth)
                 fiv_chain = (
                     max(fiv_chain, result.metrics.finish_cycles)
@@ -650,41 +1030,81 @@ class ProcessPoolBackend(ExecutionBackend):
             return outcomes
         # Without the FIV no segment's *execution* depends on another —
         # enumeration truth only matters at composition time — so every
-        # segment's first attempt is dispatched at once and composition
+        # segment's first attempt is dispatched up front and composition
         # chains afterwards.  Failures re-enter the retry loop one
-        # segment at a time and re-dispatch on a rebuilt pool.
+        # segment at a time and re-dispatch on a rebuilt pool.  Already
+        # checkpointed segments are never dispatched, and an admission
+        # bound (``ctx.max_inflight``) turns the all-at-once prefetch
+        # into waves: at most that many dispatches are outstanding.
+        limit = ctx.max_inflight if (ctx.max_inflight or 0) > 0 else None
         prefetched: dict[int, tuple[Future, int] | BaseException] = {}
-        for plan in plans:
-            index = plan.segment.index
-            try:
-                fault = _draw_fault(ctx, index)
-                prefetched[index] = self._submit(
-                    ctx, token, payload, plan, None, None, fault
-                )
-            except RETRYABLE_ERRORS as error:
-                # Surfaces as this segment's attempt-1 failure when its
-                # turn to collect comes.
-                prefetched[index] = error
+        to_submit = [
+            plan
+            for plan in plans
+            if ctx.checkpoint is None or not ctx.checkpoint.has(plan)
+        ]
+
+        def pump() -> None:
+            """Top the outstanding-dispatch window back up."""
+            while (
+                to_submit
+                and not state.downgraded
+                and (limit is None or len(prefetched) < limit)
+            ):
+                plan = to_submit.pop(0)
+                index = plan.segment.index
+                try:
+                    fault = _draw_fault(ctx, index)
+                    prefetched[index] = self._submit(
+                        ctx, token, payload, plan, None, None, fault
+                    )
+                except RETRYABLE_ERRORS as error:
+                    # Surfaces as this segment's attempt-1 failure when
+                    # its turn to collect comes.
+                    prefetched[index] = error
+
+        pump()
         results: list[SegmentResult] = []
         for plan in plans:
             index = plan.segment.index
+            cached = self._checkpoint_load(ctx, plan)
+            if cached is not None:
+                results.append(cached)
+                continue
 
             def attempt(
                 plan: SegmentPlan = plan, index: int = index
             ) -> SegmentResult:
                 entry = prefetched.pop(index, None)
+                if plan in to_submit:
+                    # Its wave never came up (bounded window): this
+                    # attempt dispatches it directly instead.
+                    to_submit.remove(plan)
                 if isinstance(entry, BaseException):
                     raise entry
-                if entry is not None:
-                    future, span = entry
-                    return self._collect(ctx, future, span, plan)
-                if state.downgraded:
-                    return state.run_inline(plan, None, None)
-                fault = _draw_fault(ctx, index)
-                future, span = self._submit(
-                    ctx, token, payload, plan, None, None, fault
+                if entry is None:
+                    if state.downgraded:
+                        return state.run_inline(plan, None, None)
+                    fault = _draw_fault(ctx, index)
+                    entry = self._submit(
+                        ctx, token, payload, plan, None, None, fault
+                    )
+                future, span = entry
+
+                def redispatch() -> tuple[Future, int]:
+                    hedge_fault = _draw_fault(ctx, index)
+                    return self._submit(
+                        ctx, token, payload, plan, None, None, hedge_fault
+                    )
+
+                return self._collect(
+                    ctx,
+                    future,
+                    span,
+                    plan,
+                    redispatch=redispatch,
+                    state=state,
                 )
-                return self._collect(ctx, future, span, plan)
 
             result = run_with_retry(
                 ctx.retry,
@@ -697,7 +1117,9 @@ class ProcessPoolBackend(ExecutionBackend):
                 ),
             )
             state.note_success()
+            self._checkpoint_store(ctx, plan, result)
             results.append(result)
+            pump()
         for plan, result in zip(plans, results):
             truth = (
                 {}
@@ -714,15 +1136,21 @@ def resolve_backend(
     backend: "ExecutionBackend | str | None",
     *,
     workers: int | None = None,
+    hedge: HedgePolicy | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> ExecutionBackend:
     """Turn a backend spec (instance, name, or ``None``) into an instance.
 
     ``None`` and ``"serial"`` yield a fresh :class:`SerialBackend`;
-    ``"process"`` yields a :class:`ProcessPoolBackend` with ``workers``;
+    ``"process"`` yields a :class:`ProcessPoolBackend` with ``workers``
+    (plus the optional ``hedge`` policy and circuit ``breaker``);
     ``"vector"`` yields a :class:`VectorBackend` (in-process, so
     ``workers`` is ignored exactly as for ``"serial"``).  An existing
-    instance passes through untouched (``workers`` must then be ``None``
-    — the instance already owns its pool size).
+    instance passes through untouched (``workers``, ``hedge``, and
+    ``breaker`` must then be ``None`` — the instance already owns its
+    pool and policies).  ``hedge``/``breaker`` on an in-process backend
+    name is a configuration error: there are no dispatches to hedge and
+    no pool to protect.
     """
     if isinstance(backend, ExecutionBackend):
         if workers is not None:
@@ -730,11 +1158,21 @@ def resolve_backend(
                 "workers cannot be overridden on an existing backend "
                 "instance; construct the backend with the desired count"
             )
+        if hedge is not None or breaker is not None:
+            raise ConfigurationError(
+                "hedge/breaker cannot be overridden on an existing "
+                "backend instance; construct the backend with them"
+            )
         return backend
+    if backend == "process":
+        return ProcessPoolBackend(workers=workers, hedge=hedge, breaker=breaker)
+    if hedge is not None or breaker is not None:
+        raise ConfigurationError(
+            "straggler hedging and circuit breakers need the process "
+            "backend (in-process execution has no dispatches to hedge)"
+        )
     if backend is None or backend == "serial":
         return SerialBackend()
-    if backend == "process":
-        return ProcessPoolBackend(workers=workers)
     if backend == "vector":
         return VectorBackend()
     raise ConfigurationError(

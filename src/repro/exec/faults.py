@@ -35,11 +35,23 @@ Fault kinds
     segment; raised host-side *before* dispatch, so the retry re-derives
     the FIV inputs from the composed predecessor (the Section 3.4
     availability chain is re-walked, not guessed).
+``straggler``
+    The segment runs, but slowly: the worker sleeps ``straggler_s``
+    before executing *and then completes normally*.  Unlike ``hang`` it
+    is sized to finish well inside any dispatch timeout — it exists to
+    exercise straggler *hedging* (speculative re-dispatch), not the
+    deadline path.  The serial backend models it as an inline sleep.
+``corrupt_checkpoint``
+    A torn checkpoint write: the durability layer truncates that
+    segment's checkpoint record mid-payload.  Drawn at checkpoint-write
+    time (:meth:`FaultInjector.draw_checkpoint`), never at execution
+    time — the run itself succeeds; what is under test is that the
+    *next resume* drops the broken record and re-executes.
 
 ``crash`` and ``hang`` are *infrastructure* faults: they model worker
 processes dying, so they stop firing once a run has degraded to
 in-process execution (there are no workers left to kill).  The other
-kinds fire wherever the segment executes.
+execution-time kinds fire wherever the segment executes.
 """
 
 from __future__ import annotations
@@ -59,9 +71,19 @@ HANG = "hang"
 TRANSIENT = "transient"
 SVC_EXHAUSTION = "svc_exhaustion"
 FIV_WRITE = "fiv_write"
+STRAGGLER = "straggler"
+CORRUPT_CHECKPOINT = "corrupt_checkpoint"
 
 #: Every spellable fault kind, in documentation order.
-FAULT_KINDS = (CRASH, HANG, TRANSIENT, SVC_EXHAUSTION, FIV_WRITE)
+FAULT_KINDS = (
+    CRASH,
+    HANG,
+    TRANSIENT,
+    SVC_EXHAUSTION,
+    FIV_WRITE,
+    STRAGGLER,
+    CORRUPT_CHECKPOINT,
+)
 
 #: Infrastructure-level kinds: they model worker processes failing and
 #: are suppressed after a serial downgrade (no workers remain).
@@ -69,6 +91,11 @@ WORKER_KINDS = frozenset({CRASH, HANG})
 
 #: Kinds applied host-side before dispatch (never shipped to a worker).
 HOST_KINDS = frozenset({FIV_WRITE})
+
+#: Kinds drawn at checkpoint-*write* time, not execution time: they
+#: corrupt durability records and are invisible to the execution path
+#: (see :meth:`FaultInjector.draw_checkpoint`).
+CHECKPOINT_KINDS = frozenset({CORRUPT_CHECKPOINT})
 
 
 @dataclass(frozen=True)
@@ -118,6 +145,10 @@ class FaultPlan:
     hang_s: float = 30.0
     """Seconds an injected ``hang`` sleeps in the worker before
     executing; pair it with a smaller per-segment timeout."""
+    straggler_s: float = 0.5
+    """Seconds an injected ``straggler`` delays before executing
+    normally; size it well under any dispatch timeout so the hedging
+    path — not the deadline path — is what recovers it."""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -132,24 +163,28 @@ class FaultPlan:
             raise ConfigurationError("seeded fault plan needs >= 1 kind")
         if self.hang_s <= 0:
             raise ConfigurationError("hang_s must be positive")
+        if self.straggler_s <= 0:
+            raise ConfigurationError("straggler_s must be positive")
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
         """Parse the CLI spec grammar.
 
         Comma-separated tokens, each either ``key=value`` (``seed``,
-        ``rate``, ``kinds`` — ``+``-separated — and ``hang``) or an
-        explicit fault ``SEGMENT:KIND[*TIMES]``::
+        ``rate``, ``kinds`` — ``+``-separated — ``hang``, and
+        ``straggler``) or an explicit fault ``SEGMENT:KIND[*TIMES]``::
 
             seed=7,rate=0.25,kinds=crash+transient
             2:transient,3:crash*2
             seed=7,rate=0.1,1:fiv_write
+            straggler=0.4,2:straggler
         """
         specs: list[FaultSpec] = []
         seed: int | None = None
         rate = 0.0
         kinds: tuple[str, ...] = (TRANSIENT,)
         hang_s = 30.0
+        straggler_s = 0.5
         try:
             for token in filter(None, (t.strip() for t in text.split(","))):
                 if "=" in token:
@@ -162,10 +197,13 @@ class FaultPlan:
                         kinds = tuple(filter(None, value.split("+")))
                     elif key == "hang":
                         hang_s = float(value)
+                    elif key == "straggler":
+                        straggler_s = float(value)
                     else:
                         raise ConfigurationError(
                             f"unknown fault-plan key {key!r} "
-                            "(expected seed, rate, kinds, or hang)"
+                            "(expected seed, rate, kinds, hang, "
+                            "or straggler)"
                         )
                     continue
                 if ":" not in token:
@@ -190,18 +228,52 @@ class FaultPlan:
                 "a fault rate needs a seed (pass seed=<int>)"
             )
         return cls(
-            specs=tuple(specs), seed=seed, rate=rate, kinds=kinds, hang_s=hang_s
+            specs=tuple(specs),
+            seed=seed,
+            rate=rate,
+            kinds=kinds,
+            hang_s=hang_s,
+            straggler_s=straggler_s,
         )
 
     def fault_at(self, segment: int, attempt: int) -> str | None:
-        """The fault kind firing at ``(segment, attempt)``, if any."""
+        """The execution fault firing at ``(segment, attempt)``, if any.
+
+        Checkpoint-write kinds never fire here — they have their own
+        draw path (:meth:`FaultInjector.draw_checkpoint`), so a
+        ``corrupt_checkpoint`` spec or seeded draw is transparent to
+        the execution attempt sequence.
+        """
         for spec in self.specs:
+            if spec.kind in CHECKPOINT_KINDS:
+                continue
             if spec.segment == segment and attempt <= spec.times:
                 return spec.kind
         if self.seed is not None and self.rate > 0.0 and attempt == 1:
             rng = random.Random(f"{self.seed}:{segment}")
             if rng.random() < self.rate:
-                return self.kinds[rng.randrange(len(self.kinds))]
+                kind = self.kinds[rng.randrange(len(self.kinds))]
+                if kind not in CHECKPOINT_KINDS:
+                    return kind
+        return None
+
+    def checkpoint_fault_at(self, segment: int, write: int) -> str | None:
+        """The checkpoint fault firing at ``(segment, write)``, if any."""
+        for spec in self.specs:
+            if (
+                spec.kind in CHECKPOINT_KINDS
+                and spec.segment == segment
+                and write <= spec.times
+            ):
+                return spec.kind
+        if self.seed is not None and self.rate > 0.0 and write == 1:
+            checkpoint_kinds = [k for k in self.kinds if k in CHECKPOINT_KINDS]
+            if checkpoint_kinds:
+                rng = random.Random(f"{self.seed}:ckpt:{segment}")
+                if rng.random() < self.rate:
+                    return checkpoint_kinds[
+                        rng.randrange(len(checkpoint_kinds))
+                    ]
         return None
 
     def to_dict(self) -> dict:
@@ -215,6 +287,7 @@ class FaultPlan:
             "rate": self.rate,
             "kinds": list(self.kinds),
             "hang_s": self.hang_s,
+            "straggler_s": self.straggler_s,
         }
 
 
@@ -231,6 +304,7 @@ class FaultInjector:
         self.plan = plan
         self.injected: list[dict] = []
         self._attempts: dict[int, int] = {}
+        self._checkpoint_writes: dict[int, int] = {}
 
     def draw(self, segment: int, *, infrastructure: bool = True) -> str | None:
         """The fault (if any) for this segment's next attempt.
@@ -250,6 +324,25 @@ class FaultInjector:
             {"segment": segment, "attempt": attempt, "kind": kind}
         )
         return kind
+
+    def draw_checkpoint(self, segment: int) -> bool:
+        """One draw for this segment's checkpoint write (True = corrupt).
+
+        Separate from :meth:`draw` on purpose: checkpoint faults are
+        write-side, so drawing them must not consume (or shift) the
+        execution attempt sequence — a run with only
+        ``corrupt_checkpoint`` planned executes exactly like a clean
+        one and differs only in what lands on disk.
+        """
+        write = self._checkpoint_writes.get(segment, 0) + 1
+        self._checkpoint_writes[segment] = write
+        kind = self.plan.checkpoint_fault_at(segment, write)
+        if kind is None:
+            return False
+        self.injected.append(
+            {"segment": segment, "attempt": write, "kind": kind}
+        )
+        return True
 
 
 def raise_fault(kind: str, segment: int) -> None:
@@ -278,6 +371,15 @@ def raise_fault(kind: str, segment: int) -> None:
         raise TransientSegmentError(
             f"injected FIV write failure for segment {segment}",
             kind=FIV_WRITE,
+            segment=segment,
+        )
+    if kind == STRAGGLER:
+        # Backends model stragglers as a delay, not an error; reaching
+        # here means a call site forgot to — surface it as retryable so
+        # the run still completes.
+        raise TransientSegmentError(
+            f"unmodeled straggler fault in segment {segment}",
+            kind=STRAGGLER,
             segment=segment,
         )
     raise TransientSegmentError(

@@ -115,6 +115,26 @@ class RunHealth:
     downgraded: bool = False
     downgrade_reason: str | None = None
     downgraded_at_segment: int | None = None
+    hedges: int = 0
+    """Speculative re-dispatches issued for straggling segments."""
+    hedge_wins: list[dict] = field(default_factory=list)
+    """Hedges whose speculative dispatch finished first:
+    ``{"segment", "waited_ms"}``."""
+    worker_steps: list[dict] = field(default_factory=list)
+    """Pool step-downs under consecutive infrastructure failures:
+    ``{"segment", "workers", "consecutive", "error"}``."""
+    breaker_state: str | None = None
+    """Backend circuit-breaker state after this run touched it
+    (``None`` when the backend has no breaker or it never fired)."""
+    breaker_reason: str | None = None
+    checkpoint_path: str | None = None
+    """Checkpoint file backing this run (``None`` without one).  The
+    flight recorder's crash bundle carries the whole health dict, so a
+    crashed run's bundle names where its resumable state lives."""
+    checkpoint_hits: int = 0
+    checkpoint_writes: int = 0
+    admission: dict | None = None
+    """The admission guard's decision for this run, when one ran."""
 
     def record_attempt(self, segment: int) -> None:
         self.attempts[segment] = self.attempts.get(segment, 0) + 1
@@ -132,6 +152,8 @@ class RunHealth:
             or self.crashes
             or self.injected
             or self.downgraded
+            or self.hedges
+            or self.worker_steps
         )
 
     def to_dict(self) -> dict:
@@ -144,6 +166,15 @@ class RunHealth:
             "downgraded": self.downgraded,
             "downgrade_reason": self.downgrade_reason,
             "downgraded_at_segment": self.downgraded_at_segment,
+            "hedges": self.hedges,
+            "hedge_wins": list(self.hedge_wins),
+            "worker_steps": list(self.worker_steps),
+            "breaker_state": self.breaker_state,
+            "breaker_reason": self.breaker_reason,
+            "checkpoint_path": self.checkpoint_path,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_writes": self.checkpoint_writes,
+            "admission": self.admission,
             "faults_injected": len(self.injected),
             "injected_faults": list(self.injected),
             "attempts": {

@@ -26,7 +26,7 @@ from repro.automata.anml import Automaton
 from repro.automata.execution import CompiledAutomaton
 from repro.core.config import PAPConfig
 from repro.core.scheduler import SegmentPlan, SegmentResult, SegmentScheduler
-from repro.exec.faults import CRASH, HANG, raise_fault
+from repro.exec.faults import CRASH, HANG, STRAGGLER, raise_fault
 from repro.obs.remote import RecordBatch, RecordingObserver
 from repro.obs.tracer import NULL_OBSERVER
 
@@ -117,21 +117,23 @@ def run_segment_task(
     ``finally`` so a fault mid-segment never leaks recording into the
     next task's un-observed run.
 
-    ``fault`` is an injected ``(kind, hang_seconds)`` drawn by the
+    ``fault`` is an injected ``(kind, delay_seconds)`` drawn by the
     parent's :class:`~repro.exec.faults.FaultInjector` for *this*
     attempt: ``crash`` hard-exits the process (breaking the pool, as a
-    real crash would), ``hang`` sleeps before executing (tripping the
-    parent's dispatch timeout), and every other kind raises its modeled
-    transient error back across the pool.
+    real crash would), ``hang`` and ``straggler`` sleep their delay
+    before executing (``hang`` is sized to trip the parent's dispatch
+    timeout, ``straggler`` to finish late enough that hedging beats
+    it), and every other kind raises its modeled transient error back
+    across the pool.
     """
     if os.environ.get(CRASH_ENV):
         os._exit(3)
     if fault is not None:
-        kind, hang_s = fault
+        kind, delay_s = fault
         if kind == CRASH:
             os._exit(3)
-        elif kind == HANG:
-            time.sleep(hang_s)
+        elif kind in (HANG, STRAGGLER):
+            time.sleep(delay_s)
         else:
             raise_fault(kind, plan.segment.index)
     start = time.perf_counter_ns()

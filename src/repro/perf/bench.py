@@ -18,6 +18,7 @@ from typing import Callable
 from repro.core.config import DEFAULT_CONFIG
 from repro.errors import ConfigurationError
 from repro.exec.backend import ExecutionBackend, resolve_backend
+from repro.exec.durability import CircuitBreaker, HedgePolicy
 from repro.exec.faults import FaultPlan
 from repro.exec.resilience import RetryPolicy
 from repro.perf.artifact import BenchmarkRecord, PerfReport
@@ -84,6 +85,10 @@ def run_bench_suite(
     use_fiv: bool = True,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    hedge: HedgePolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> PerfReport:
     """Run ``names`` and return the artifact-ready report.
@@ -106,8 +111,18 @@ def run_bench_suite(
     recorded in the artifact's ``parameters`` — which are never gated —
     while ``cycles`` stay bit-exact under recovery, so a chaos artifact
     compares clean against a fault-free baseline.
+
+    ``checkpoint`` names a directory for the durable segment-result
+    store; ``resume=True`` replays segments already proven there under
+    the same run fingerprint.  Resumed cycles are bit-exact, so a
+    resumed artifact also compares clean with ``--fail-on cycles`` —
+    the kill-and-resume CI stage depends on it.  ``hedge``/``breaker``
+    attach straggler hedging and the circuit breaker to a process
+    backend named by ``backend`` (instances already own theirs).
     """
-    resolved = resolve_backend(backend, workers=workers)
+    resolved = resolve_backend(
+        backend, workers=workers, hedge=hedge, breaker=breaker
+    )
     owns_backend = not isinstance(backend, ExecutionBackend)
     config = (
         DEFAULT_CONFIG if use_fiv else replace(DEFAULT_CONFIG, use_fiv=False)
@@ -131,6 +146,10 @@ def run_bench_suite(
                 retry.segment_timeout_s if retry is not None else None
             ),
             "faults": faults.to_dict() if faults is not None else None,
+            "checkpoint": checkpoint,
+            "resume": resume,
+            "hedge": hedge is not None,
+            "breaker": breaker is not None,
         },
     )
     try:
@@ -148,6 +167,8 @@ def run_bench_suite(
                     backend=resolved,
                     retry=retry,
                     faults=faults,
+                    checkpoint=checkpoint,
+                    resume=resume,
                 ),
                 warmup=warmup,
                 repeats=repeats,

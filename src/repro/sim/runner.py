@@ -18,6 +18,7 @@ from repro.core.metrics import PAPRunResult
 from repro.core.pap import ParallelAutomataProcessor
 from repro.errors import ExecutionError
 from repro.exec.backend import ExecutionBackend
+from repro.exec.durability import AdmissionPolicy, CheckpointStore
 from repro.exec.faults import FaultPlan
 from repro.exec.resilience import RetryPolicy
 from repro.obs.tracer import Observer, Tracer
@@ -161,6 +162,9 @@ def run_benchmark(
     backend: ExecutionBackend | str | None = None,
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    resume: bool = False,
+    admission: AdmissionPolicy | None = None,
 ) -> BenchmarkRun:
     """Run one benchmark end to end and package the measurement.
 
@@ -188,6 +192,15 @@ def run_benchmark(
     identical under injected faults — which is exactly what the chaos
     CI job asserts.  The recovery record lands in
     ``run.pap.extra["health"]``.
+
+    ``checkpoint``/``resume``/``admission`` thread the durability
+    machinery (:mod:`repro.exec.durability`) into the run: segment
+    results are written through to the checkpoint store as they
+    complete, ``resume=True`` skips segments already proven under the
+    same run fingerprint, and ``admission`` pre-checks the run against
+    a memory budget.  A resumed run replays checkpointed cycle-domain
+    results bit-exactly, so its ``to_dict`` payload matches a cold
+    run's — that is what the kill-and-resume CI stage gates.
     """
     board = BoardGeometry(ranks=ranks)
     timing = config.timing
@@ -202,7 +215,15 @@ def run_benchmark(
         config=config,
         half_cores=benchmark.half_cores,
         observer=observer,
-    ).run(data, backend=backend, retry=retry, faults=faults)
+    ).run(
+        data,
+        backend=backend,
+        retry=retry,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume=resume,
+        admission=admission,
+    )
 
     matches = pap.reports == baseline.reports
     if verify_reports and not matches:
